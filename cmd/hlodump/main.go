@@ -1,0 +1,112 @@
+// Command hlodump prints the per-layer SPMD program of one of the
+// evaluated models before and/or after the overlap pipeline — useful
+// for inspecting what the decomposition and the scheduler produced.
+//
+// Usage:
+//
+//	hlodump -model GPT_32B            # baseline HLO
+//	hlodump -model GPT_32B -overlap   # after decomposition + scheduling
+//	hlodump -in prog.hlo -devices 8   # parse a dump, verify, simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overlap"
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/models"
+	"overlap/internal/sim"
+)
+
+func main() {
+	model := flag.String("model", "GPT_32B", "model name from Table 1 or Table 2")
+	in := flag.String("in", "", "parse this HLO text file instead of building a model")
+	devices := flag.Int("devices", 0, "with -in: simulate on this many devices")
+	apply := flag.Bool("overlap", false, "apply the overlap pipeline before printing")
+	scheduler := flag.String("scheduler", "bottom-up", "scheduler: bottom-up, top-down or none")
+	traceOut := flag.String("trace", "", "also simulate and write a Chrome trace (chrome://tracing) to this file")
+	flag.Parse()
+
+	if *in != "" {
+		raw, err := os.ReadFile(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlodump: %v\n", err)
+			os.Exit(1)
+		}
+		c, err := hlo.Parse(string(raw))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlodump: %v\n", err)
+			os.Exit(1)
+		}
+		if err := c.Verify(); err != nil {
+			fmt.Fprintf(os.Stderr, "hlodump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hlodump: parsed %d instructions, peak memory %.2f MiB\n",
+			c.NumInstructions(), float64(hlo.PeakMemory(c).PeakBytes)/(1<<20))
+		if *devices > 0 {
+			bd, err := sim.Simulate(c, *devices, machine.TPUv4())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hlodump: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "hlodump: step %.3f ms, %.0f%% exposed communication\n",
+				1e3*bd.StepTime, 100*bd.CommFraction())
+		}
+		fmt.Print(c.Format())
+		return
+	}
+
+	cfg, err := models.ByName(*model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hlodump: %v\n", err)
+		os.Exit(1)
+	}
+	c, err := overlap.BuildLayerStep(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hlodump: %v\n", err)
+		os.Exit(1)
+	}
+	if *apply {
+		opts := overlap.DefaultOptions(overlap.TPUv4())
+		switch *scheduler {
+		case "bottom-up":
+			opts.Scheduler = overlap.SchedulerBottomUp
+		case "top-down":
+			opts.Scheduler = overlap.SchedulerTopDown
+		case "none":
+			opts.Scheduler = overlap.SchedulerNone
+		default:
+			fmt.Fprintf(os.Stderr, "hlodump: unknown scheduler %q\n", *scheduler)
+			os.Exit(1)
+		}
+		report, err := overlap.Apply(c, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlodump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("// sites found=%d decomposed=%d rejected=%d fusions=%d\n",
+			report.SitesFound, report.SitesDecomposed, report.SitesRejected, report.FusionsFormed)
+	}
+	if *traceOut != "" {
+		_, events, err := sim.SimulateTrace(c, cfg.Mesh().NumDevices(), machine.TPUv4())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlodump: %v\n", err)
+			os.Exit(1)
+		}
+		raw, err := sim.TraceJSON(events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlodump: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*traceOut, raw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hlodump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hlodump: wrote %d trace events to %s\n", len(events), *traceOut)
+	}
+	fmt.Print(c.Format())
+}

@@ -1,0 +1,46 @@
+// Command overlapbench regenerates the paper's evaluation tables and
+// figures on the simulated TPU-v4-like cluster.
+//
+// Usage:
+//
+//	overlapbench [flags] [experiment ...]
+//
+// With no arguments every experiment runs in presentation order. Known
+// experiments: table1 table2 fig1 fig12 fig13 fig14 fig15 fig16 energy
+// inference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overlap"
+)
+
+func main() {
+	linkGBs := flag.Float64("link-gbs", 0, "override per-direction link bandwidth (GB/s, 4-byte-element equivalent)")
+	peakTF := flag.Float64("peak-tflops", 0, "override per-chip peak TFLOP/s")
+	flag.Parse()
+
+	spec := overlap.TPUv4()
+	if *linkGBs > 0 {
+		spec.LinkBandwidth = *linkGBs * 1e9
+	}
+	if *peakTF > 0 {
+		spec.PeakFLOPS = *peakTF * 1e12
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = overlap.ExperimentIDs()
+	}
+	for _, id := range ids {
+		out, err := overlap.RunExperiment(id, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "overlapbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,87 @@
+package overlap_test
+
+import (
+	"fmt"
+	"log"
+
+	"overlap"
+)
+
+// ExampleApply decomposes a weight-gathered einsum on a 4-chip ring and
+// reports what the pipeline did.
+func ExampleApply() {
+	const n = 4
+	c := overlap.NewComputation("layer")
+	groups := overlap.NewRing(n).AxisGroups(0)
+	act := c.Parameter(0, "act", []int{8192, 2048})
+	w := c.Parameter(1, "w", []int{512, 8192})
+	full := c.AllGather(w, 0, groups)
+	c.Einsum("bf,fh->bh", act, full)
+
+	report, err := overlap.Apply(c, overlap.DefaultOptions(overlap.TPUv4()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sites found: %d, decomposed: %d\n", report.SitesFound, report.SitesDecomposed)
+	// Output:
+	// sites found: 1, decomposed: 1
+}
+
+// ExampleSimulate measures the step-time effect of overlapping on the
+// same layer.
+func ExampleSimulate() {
+	const n = 4
+	build := func() *overlap.Computation {
+		c := overlap.NewComputation("layer")
+		groups := overlap.NewRing(n).AxisGroups(0)
+		act := c.Parameter(0, "act", []int{8192, 2048})
+		w := c.Parameter(1, "w", []int{512, 8192})
+		full := c.AllGather(w, 0, groups)
+		c.Einsum("bf,fh->bh", act, full)
+		return c
+	}
+	spec := overlap.TPUv4()
+	base := build()
+	baseBd, _ := overlap.Simulate(base, n, spec)
+	over := build()
+	if _, err := overlap.Apply(over, overlap.DefaultOptions(spec)); err != nil {
+		log.Fatal(err)
+	}
+	overBd, _ := overlap.Simulate(over, n, spec)
+	fmt.Printf("faster: %v\n", overBd.StepTime < baseBd.StepTime)
+	// Output:
+	// faster: true
+}
+
+// ExampleGradients derives a backward pass whose collectives are the
+// transposed forward collectives.
+func ExampleGradients() {
+	const n = 2
+	c := overlap.NewComputation("train")
+	groups := overlap.NewRing(n).AxisGroups(0)
+	x := c.Parameter(0, "x", []int{4, 8})
+	w := c.Parameter(1, "w", []int{8, 8})
+	probe := c.Parameter(2, "probe", []int{8, 8})
+	seed := c.Parameter(3, "seed", nil)
+	full := c.AllGather(x, 0, groups)
+	out := c.Einsum("mk,kn->mn", full, w)
+	loss := c.Einsum("mn,mn->", out, probe)
+	grads, err := overlap.Gradients(c, loss, seed, []*overlap.Instruction{x})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dx op: %s\n", grads[x].Op)
+	// Output:
+	// dx op: reduce-scatter
+}
+
+// ExampleRunExperiment regenerates one of the paper's tables.
+func ExampleRunExperiment() {
+	out, err := overlap.RunExperiment("table2", overlap.TPUv4())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out[:31])
+	// Output:
+	// Table 2: weak-scaled GPT models
+}

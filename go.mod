@@ -1,0 +1,3 @@
+module overlap
+
+go 1.22

@@ -1,0 +1,90 @@
+// Package collective implements the reference (functional) semantics of
+// the MPI-style collectives used by intra-layer model parallelism. The
+// functions operate on one tensor per participating device, ordered by
+// the device's position within its group, and return the post-collective
+// value(s). The SPMD interpreter delegates to these, and the overlap
+// decomposition's equivalence tests use them as ground truth.
+package collective
+
+import (
+	"fmt"
+
+	"overlap/internal/tensor"
+)
+
+// AllGather concatenates the group's shards along axis; every device
+// receives the same result.
+func AllGather(shards []*tensor.Tensor, axis int) *tensor.Tensor {
+	if len(shards) == 0 {
+		panic("collective: AllGather with no shards")
+	}
+	return tensor.Concat(axis, shards...)
+}
+
+// ReduceScatter element-wise sums the group's inputs and returns one
+// shard of the sum per device, split along axis in group order.
+func ReduceScatter(inputs []*tensor.Tensor, axis int) []*tensor.Tensor {
+	sum := AllReduce(inputs)
+	return tensor.Split(sum, axis, len(inputs))
+}
+
+// AllReduce element-wise sums the group's inputs; every device receives
+// the full sum.
+func AllReduce(inputs []*tensor.Tensor) *tensor.Tensor {
+	if len(inputs) == 0 {
+		panic("collective: AllReduce with no inputs")
+	}
+	acc := inputs[0].Clone()
+	for _, in := range inputs[1:] {
+		tensor.AddInPlace(acc, in)
+	}
+	return acc
+}
+
+// AllToAll splits every device's input into len(inputs) pieces along
+// splitAxis and returns, for device j, the concatenation of piece j
+// from every device (in group order) along concatAxis — the shard
+// transpose used by mixture-of-experts dispatch.
+func AllToAll(inputs []*tensor.Tensor, splitAxis, concatAxis int) []*tensor.Tensor {
+	n := len(inputs)
+	if n == 0 {
+		panic("collective: AllToAll with no inputs")
+	}
+	pieces := make([][]*tensor.Tensor, n)
+	for i, in := range inputs {
+		pieces[i] = tensor.Split(in, splitAxis, n)
+	}
+	out := make([]*tensor.Tensor, n)
+	for j := 0; j < n; j++ {
+		row := make([]*tensor.Tensor, n)
+		for i := 0; i < n; i++ {
+			row[i] = pieces[i][j]
+		}
+		out[j] = tensor.Concat(concatAxis, row...)
+	}
+	return out
+}
+
+// Permute applies point-to-point transfers over global device ids:
+// output[target] = input[source] for each pair, and a zero tensor of the
+// input's shape for devices that are not the target of any pair (XLA
+// CollectivePermute semantics).
+func Permute(inputs []*tensor.Tensor, pairs [][2]int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(inputs))
+	for _, p := range pairs {
+		src, dst := p[0], p[1]
+		if src < 0 || src >= len(inputs) || dst < 0 || dst >= len(inputs) {
+			panic(fmt.Sprintf("collective: permute pair %v out of range for %d devices", p, len(inputs)))
+		}
+		if out[dst] != nil {
+			panic(fmt.Sprintf("collective: permute target %d written twice", dst))
+		}
+		out[dst] = inputs[src].Clone()
+	}
+	for d := range out {
+		if out[d] == nil {
+			out[d] = tensor.New(inputs[d].Shape()...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"overlap/internal/tensor"
+)
+
+func randShards(seed int64, n, rows, cols int) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		out[i] = tensor.Rand(rng, rows, cols)
+	}
+	return out
+}
+
+func TestAllGatherConcatenatesInOrder(t *testing.T) {
+	a := tensor.Iota(1, 2)
+	b := tensor.Scale(tensor.Iota(1, 2), 10)
+	got := AllGather([]*tensor.Tensor{a, b}, 0)
+	want := tensor.FromValues([]int{2, 2}, []float64{0, 1, 0, 10})
+	if !got.Equal(want) {
+		t.Fatalf("AllGather = %v", got.Data())
+	}
+}
+
+func TestAllReduceSums(t *testing.T) {
+	in := randShards(1, 3, 2, 2)
+	got := AllReduce(in)
+	want := tensor.Add(tensor.Add(in[0], in[1]), in[2])
+	if !got.Equal(want) {
+		t.Fatalf("AllReduce wrong")
+	}
+	// Inputs must not be mutated.
+	fresh := randShards(1, 3, 2, 2)
+	for i := range in {
+		if !in[i].Equal(fresh[i]) {
+			t.Fatal("AllReduce mutated an input")
+		}
+	}
+}
+
+func TestReduceScatterIsAllReduceThenSplit(t *testing.T) {
+	in := randShards(2, 4, 8, 3)
+	shards := ReduceScatter(in, 0)
+	if len(shards) != 4 {
+		t.Fatalf("ReduceScatter returned %d shards", len(shards))
+	}
+	full := AllReduce(in)
+	back := tensor.Concat(0, shards...)
+	if !back.Equal(full) {
+		t.Fatal("ReduceScatter shards do not reassemble the AllReduce")
+	}
+}
+
+// Property: AllReduce == AllGather along a fresh axis is impossible here,
+// but the paper's identity AllReduce = ReduceScatter ∘ AllGather holds:
+// gathering the ReduceScatter shards reproduces the AllReduce.
+func TestAllReduceEqualsReduceScatterThenAllGather(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		rows := n * (1 + rng.Intn(3))
+		in := randShards(seed+7, n, rows, 1+rng.Intn(4))
+		rs := ReduceScatter(in, 0)
+		ag := AllGather(rs, 0)
+		return ag.AllClose(AllReduce(in), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllTranspose(t *testing.T) {
+	// Two devices, each with a [2,1] tensor split along axis 0.
+	d0 := tensor.FromValues([]int{2, 1}, []float64{1, 2})
+	d1 := tensor.FromValues([]int{2, 1}, []float64{3, 4})
+	out := AllToAll([]*tensor.Tensor{d0, d1}, 0, 0)
+	if !out[0].Equal(tensor.FromValues([]int{2, 1}, []float64{1, 3})) {
+		t.Fatalf("AllToAll out[0] = %v", out[0].Data())
+	}
+	if !out[1].Equal(tensor.FromValues([]int{2, 1}, []float64{2, 4})) {
+		t.Fatalf("AllToAll out[1] = %v", out[1].Data())
+	}
+}
+
+// Property: AllToAll is an involution (applying it twice restores the
+// original shards).
+func TestAllToAllInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		rows := n * (1 + rng.Intn(2))
+		in := randShards(seed+3, n, rows, 1+rng.Intn(3))
+		twice := AllToAll(AllToAll(in, 0, 0), 0, 0)
+		for i := range in {
+			if !twice[i].Equal(in[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuteShiftLeft(t *testing.T) {
+	in := []*tensor.Tensor{tensor.Scalar(10), tensor.Scalar(11), tensor.Scalar(12)}
+	// Circular shift left: {0,2},{1,0},{2,1}.
+	out := Permute(in, [][2]int{{0, 2}, {1, 0}, {2, 1}})
+	if out[0].At() != 11 || out[1].At() != 12 || out[2].At() != 10 {
+		t.Fatalf("Permute shift = %v %v %v", out[0].At(), out[1].At(), out[2].At())
+	}
+}
+
+func TestPermuteNonTargetGetsZeros(t *testing.T) {
+	in := []*tensor.Tensor{tensor.Scalar(5), tensor.Scalar(6)}
+	out := Permute(in, [][2]int{{0, 1}})
+	if out[0].At() != 0 {
+		t.Fatalf("non-target output = %v, want 0", out[0].At())
+	}
+	if out[1].At() != 5 {
+		t.Fatalf("target output = %v, want 5", out[1].At())
+	}
+}
+
+func TestPermuteDuplicateTargetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate permute target did not panic")
+		}
+	}()
+	in := []*tensor.Tensor{tensor.Scalar(1), tensor.Scalar(2)}
+	Permute(in, [][2]int{{0, 1}, {1, 1}})
+}
+
+// Property: a full cyclic permutation applied N times is the identity.
+func TestPermuteCycleOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		in := randShards(seed, n, 2, 2)
+		pairs := make([][2]int, n)
+		for i := range pairs {
+			pairs[i] = [2]int{i, (i + n - 1) % n}
+		}
+		cur := in
+		for k := 0; k < n; k++ {
+			cur = Permute(cur, pairs)
+		}
+		for i := range in {
+			if !cur[i].Equal(in[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package collective
+
+import (
+	"fmt"
+
+	"overlap/internal/tensor"
+)
+
+// Ring algorithms: the step-by-step point-to-point schedules that the
+// decomposed Looped CollectiveEinsum's CollectivePermute chains follow,
+// implemented directly on tensors. They justify two things used
+// elsewhere:
+//
+//   - functionally, executing the N-1 (or N/2, bidirectional) shift
+//     steps reproduces the direct AllGather/ReduceScatter semantics —
+//     the identity behind the paper's Figures 6, 7, 9 and 10;
+//   - analytically, each step moves exactly one shard per link
+//     direction, which is the machine model's ring cost formula.
+
+// RingAllGather runs the unidirectional ring algorithm: for N-1 steps
+// every rank forwards the shard it most recently received to rank-1
+// (circular shift left) while recording it into its output. The result
+// on every rank equals AllGather(shards, axis).
+func RingAllGather(shards []*tensor.Tensor, axis int) []*tensor.Tensor {
+	n := len(shards)
+	if n == 0 {
+		panic("collective: RingAllGather with no shards")
+	}
+	// Each rank assembles its output from per-slot shards; slot r holds
+	// rank r's original shard.
+	slots := make([][]*tensor.Tensor, n)
+	cur := make([]*tensor.Tensor, n)
+	for r := 0; r < n; r++ {
+		slots[r] = make([]*tensor.Tensor, n)
+		slots[r][r] = shards[r]
+		cur[r] = shards[r]
+	}
+	left := shiftLeftPairs(n)
+	for step := 0; step < n-1; step++ {
+		cur = Permute(cur, left)
+		for r := 0; r < n; r++ {
+			// After `step+1` left shifts, rank r holds the shard that
+			// originated at rank (r + step + 1) mod n.
+			slots[r][(r+step+1)%n] = cur[r]
+		}
+	}
+	out := make([]*tensor.Tensor, n)
+	for r := 0; r < n; r++ {
+		out[r] = tensor.Concat(axis, slots[r]...)
+	}
+	return out
+}
+
+// RingReduceScatter runs the unidirectional ring algorithm: an
+// accumulator circulates left for N steps; at step i rank r adds its
+// contribution to shard (r + i + 1) mod N, so after the final step each
+// rank holds the fully reduced shard matching its own rank — exactly
+// the circulation of the paper's Figure 7.
+func RingReduceScatter(inputs []*tensor.Tensor, axis int) []*tensor.Tensor {
+	n := len(inputs)
+	if n == 0 {
+		panic("collective: RingReduceScatter with no inputs")
+	}
+	pieces := make([][]*tensor.Tensor, n)
+	for r, in := range inputs {
+		pieces[r] = tensor.Split(in, axis, n)
+	}
+	shardShape := pieces[0][0].Shape()
+	acc := make([]*tensor.Tensor, n)
+	for r := range acc {
+		acc[r] = tensor.New(shardShape...)
+	}
+	left := shiftLeftPairs(n)
+	for step := 0; step < n; step++ {
+		acc = Permute(acc, left)
+		for r := 0; r < n; r++ {
+			shard := (r + step + 1) % n
+			acc[r] = tensor.Add(acc[r], pieces[r][shard])
+		}
+	}
+	return acc
+}
+
+// BidirectionalRingAllGather runs the §5.4.2 two-direction variant on an
+// even-sized ring: a prologue shifts every shard right once, then each
+// of the N/2 steps records two shards — one arriving from each direction
+// — and forwards them onward. Total steps halve while each link
+// direction carries one shard per step.
+func BidirectionalRingAllGather(shards []*tensor.Tensor, axis int) []*tensor.Tensor {
+	n := len(shards)
+	if n == 0 || n%2 != 0 {
+		panic(fmt.Sprintf("collective: bidirectional ring needs an even ring, got %d", n))
+	}
+	slots := make([][]*tensor.Tensor, n)
+	ccw := make([]*tensor.Tensor, n)
+	for r := 0; r < n; r++ {
+		slots[r] = make([]*tensor.Tensor, n)
+		ccw[r] = shards[r]
+	}
+	cw := Permute(shards, shiftRightPairs(n)) // prologue
+	left := shiftLeftPairs(n)
+	right := shiftRightPairs(n)
+	for step := 0; step < n/2; step++ {
+		for r := 0; r < n; r++ {
+			slots[r][(r+step)%n] = ccw[r]
+			slots[r][((r-1-step)%n+n)%n] = cw[r]
+		}
+		if step < n/2-1 {
+			ccw = Permute(ccw, left)
+			cw = Permute(cw, right)
+		}
+	}
+	out := make([]*tensor.Tensor, n)
+	for r := 0; r < n; r++ {
+		out[r] = tensor.Concat(axis, slots[r]...)
+	}
+	return out
+}
+
+// RingStepCount returns the number of serialized shard transfers of each
+// ring algorithm — the quantity the §5.5 cost model multiplies by the
+// per-shard wire time.
+func RingStepCount(n int, bidirectional bool, reduceScatter bool) int {
+	switch {
+	case n <= 1:
+		return 0
+	case bidirectional && n%2 == 0 && reduceScatter:
+		return n/2 + 1 // epilogue alignment shift
+	case bidirectional && n%2 == 0:
+		return n / 2 // prologue + N/2-1 forwarding steps
+	case reduceScatter:
+		return n // Algorithm 1 sends every iteration
+	default:
+		return n - 1
+	}
+}
+
+func shiftLeftPairs(n int) [][2]int {
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{i, (i + n - 1) % n}
+	}
+	return pairs
+}
+
+func shiftRightPairs(n int) [][2]int {
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{i, (i + 1) % n}
+	}
+	return pairs
+}

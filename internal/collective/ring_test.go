@@ -1,0 +1,118 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the unidirectional ring AllGather reproduces the direct
+// semantics on every rank, for arbitrary ring sizes and shard shapes.
+func TestRingAllGatherMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		rows, cols := 1+rng.Intn(4), 1+rng.Intn(4)
+		shards := randShards(seed+1, n, rows, cols)
+		want := AllGather(shards, 0)
+		got := RingAllGather(shards, 0)
+		for r := 0; r < n; r++ {
+			if !got[r].Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the ring ReduceScatter reproduces the direct semantics,
+// including the Fig 7 alignment (rank r ends with shard r).
+func TestRingReduceScatterMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		rows := n * (1 + rng.Intn(3))
+		inputs := randShards(seed+2, n, rows, 1+rng.Intn(4))
+		want := ReduceScatter(inputs, 0)
+		got := RingReduceScatter(inputs, 0)
+		for r := 0; r < n; r++ {
+			if !got[r].AllClose(want[r], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the bidirectional ring AllGather matches the direct
+// semantics on even rings — the Figure 9 circulation.
+func TestBidirectionalRingAllGatherMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 * (1 + rng.Intn(4))
+		shards := randShards(seed+3, n, 1+rng.Intn(3), 1+rng.Intn(3))
+		want := AllGather(shards, 0)
+		got := BidirectionalRingAllGather(shards, 0)
+		for r := 0; r < n; r++ {
+			if !got[r].Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBidirectionalRingRejectsOdd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd ring accepted")
+		}
+	}()
+	BidirectionalRingAllGather(randShards(1, 3, 2, 2), 0)
+}
+
+func TestRingStepCount(t *testing.T) {
+	cases := []struct {
+		n        int
+		bidi, rs bool
+		want     int
+	}{
+		{1, false, false, 0},
+		{8, false, false, 7}, // AllGather: N-1
+		{8, false, true, 8},  // ReduceScatter: N (Algorithm 1)
+		{8, true, false, 4},  // bidirectional AllGather: N/2
+		{8, true, true, 5},   // bidirectional RS: N/2 + epilogue
+		{7, true, false, 6},  // odd ring falls back to unidirectional
+	}
+	for _, c := range cases {
+		if got := RingStepCount(c.n, c.bidi, c.rs); got != c.want {
+			t.Errorf("RingStepCount(%d, %v, %v) = %d, want %d", c.n, c.bidi, c.rs, got, c.want)
+		}
+	}
+}
+
+// The ring algorithm moves exactly n-1 shard-volumes through each rank —
+// the bandwidth the machine model's RingAllGatherTime assumes.
+func TestRingTrafficMatchesCostModel(t *testing.T) {
+	const n = 6
+	shards := randShards(9, n, 4, 4)
+	out := RingAllGather(shards, 0)
+	if out[0].Dim(0) != n*4 {
+		t.Fatalf("gathered shape %v", out[0].Shape())
+	}
+	// Each rank receives n-1 shards of its output from the wire.
+	recvBytes := (n - 1) * shards[0].NumElements()
+	totalOut := out[0].NumElements()
+	if recvBytes != totalOut*(n-1)/n {
+		t.Fatalf("ring traffic %d != (n-1)/n of output %d", recvBytes, totalOut)
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"overlap/internal/hlo"
+)
+
+// MakeAsync splits every blocking CollectivePermute in the computation
+// into a CollectivePermuteStart/CollectivePermuteDone pair (§5.2). The
+// pair is left adjacent; the scheduling passes then pull starts early
+// and push dones late to create overlap.
+func MakeAsync(c *hlo.Computation) int {
+	converted := 0
+	c.WithRootPreserved(func() {
+		for _, in := range c.Instructions() {
+			if in.Op != hlo.OpCollectivePermute {
+				continue
+			}
+			start := c.CollectivePermuteStart(in.Operands[0], in.Pairs)
+			done := c.CollectivePermuteDone(start)
+			c.ReplaceAllUsesWith(in, done)
+			converted++
+		}
+		// Re-sort before DCE so the computation's true sink is back in root
+		// position (appends put the new dones after it).
+		c.ScheduleStableTopological()
+		c.RemoveDeadCode()
+	})
+	return converted
+}

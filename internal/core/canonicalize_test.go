@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+func allReduceSite(n int) (*hlo.Computation, func() [][]*tensor.Tensor) {
+	build := hlo.NewComputation("ar_site")
+	a := build.Parameter(0, "a", []int{8, 6})
+	b := build.Parameter(1, "b", []int{6, 4})
+	ein := build.Einsum("mk,kn->mn", a, b)
+	build.AllReduce(ein, ringGroups(n))
+	rng := rand.New(rand.NewSource(51))
+	args := func() [][]*tensor.Tensor {
+		mk := func(r, c int) []*tensor.Tensor {
+			out := make([]*tensor.Tensor, n)
+			for d := range out {
+				out[d] = tensor.Rand(rng, r, c)
+			}
+			return out
+		}
+		return [][]*tensor.Tensor{mk(8, 6), mk(6, 4)}
+	}
+	return build, args
+}
+
+func TestCanonicalizeAllReduceEquivalence(t *testing.T) {
+	const n = 4
+	c, mkArgs := allReduceSite(n)
+	args := mkArgs()
+	ref, err := sim.Interpret(c, n, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CanonicalizeAllReduce(c); got != 1 {
+		t.Fatalf("rewrote %d all-reduces, want 1", got)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range c.Instructions() {
+		if in.Op == hlo.OpAllReduce {
+			t.Fatal("all-reduce survived canonicalization")
+		}
+	}
+	got, err := sim.Interpret(c, n, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range ref {
+		if !got[d].AllClose(ref[d], 1e-12) {
+			t.Fatalf("device %d diverged", d)
+		}
+	}
+}
+
+// The split exposes the ReduceScatter half as a decomposition site: the
+// full pipeline with SplitAllReduce must decompose where the plain
+// pipeline found nothing.
+func TestSplitAllReduceExposesSites(t *testing.T) {
+	const n = 4
+	plain, _ := allReduceSite(n)
+	opts := forceOpts(true, true, SchedulerBottomUp, true)
+	report, err := Apply(plain, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SitesFound != 0 {
+		t.Fatalf("plain pipeline matched %d sites on an all-reduce", report.SitesFound)
+	}
+
+	split, mkArgs := allReduceSite(n)
+	args := mkArgs()
+	baseline, _ := allReduceSite(n)
+	want, err := sim.Interpret(baseline, n, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.SplitAllReduce = true
+	report, err = Apply(split, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SitesDecomposed == 0 {
+		t.Fatalf("split pipeline decomposed nothing: %+v", report)
+	}
+	got, err := sim.Interpret(split, n, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range want {
+		if !got[d].AllClose(want[d], 1e-9) {
+			t.Fatalf("device %d diverged after split+decompose", d)
+		}
+	}
+}
+
+func TestCanonicalizeSkipsIndivisible(t *testing.T) {
+	c := hlo.NewComputation("odd")
+	a := c.Parameter(0, "a", []int{7, 5})
+	c.AllReduce(a, ringGroups(4)) // no dim divisible by 4
+	if got := CanonicalizeAllReduce(c); got != 0 {
+		t.Fatalf("rewrote %d, want 0", got)
+	}
+}

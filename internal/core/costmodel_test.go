@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+)
+
+// agSiteWithShapes builds an AllGather-Einsum site with explicit shard
+// and weight shapes so tests can steer the compute/communication ratio.
+func agSiteWithShapes(n, shardRows, k, cols int) (*hlo.Computation, Pattern) {
+	c := hlo.NewComputation("cm")
+	a := c.Parameter(0, "a", []int{shardRows, k})
+	b := c.Parameter(1, "b", []int{k, cols})
+	full := c.AllGather(a, 0, ringGroups(n))
+	c.Einsum("mk,kn->mn", full, b)
+	ps := FindPatterns(c, FirstChooser{})
+	if len(ps) != 1 {
+		panic("expected one pattern")
+	}
+	return c, ps[0]
+}
+
+func TestCostModelEnablesComputeBoundSite(t *testing.T) {
+	// Large einsum, modest transfers: comp_t dominates, overlap wins.
+	_, p := agSiteWithShapes(8, 256, 2048, 8192)
+	opts := DefaultOptions(machine.TPUv4())
+	d := Evaluate(p, opts)
+	if !d.Enable {
+		t.Fatalf("compute-bound site rejected: %+v", d)
+	}
+	if d.CompT <= 0 || d.CommT <= 0 || d.CommRing <= 0 {
+		t.Fatalf("degenerate estimates: %+v", d)
+	}
+}
+
+func TestCostModelRejectsCommBoundSite(t *testing.T) {
+	// Tiny einsum, huge shard: the decomposed ring (half bandwidth,
+	// unidirectional) is slower than the blocking collective and the
+	// computation cannot cover it.
+	_, p := agSiteWithShapes(8, 4096, 4096, 8)
+	opts := DefaultOptions(machine.TPUv4())
+	opts.Bidirectional = false
+	d := Evaluate(p, opts)
+	if d.Enable {
+		t.Fatalf("communication-bound site accepted: %+v", d)
+	}
+}
+
+func TestCostModelBidirectionalHalvesRingTime(t *testing.T) {
+	_, p := agSiteWithShapes(8, 512, 1024, 1024)
+	uni := DefaultOptions(machine.TPUv4())
+	uni.Bidirectional = false
+	bidi := DefaultOptions(machine.TPUv4())
+	du := Evaluate(p, uni)
+	db := Evaluate(p, bidi)
+	if db.CommRing >= du.CommRing {
+		t.Fatalf("bidirectional ring %.3g not below unidirectional %.3g", db.CommRing, du.CommRing)
+	}
+	if db.ExtraT <= 0 {
+		t.Fatal("bidirectional variant must charge the prologue as extra")
+	}
+}
+
+func TestCostModelRingSlowerThanCollective(t *testing.T) {
+	// §5.5 premise: the unidirectional decomposed ring uses half of the
+	// interconnect bandwidth, so comm_t_ring is roughly 2x comm_t.
+	_, p := agSiteWithShapes(16, 1024, 1024, 1024)
+	opts := DefaultOptions(machine.TPUv4())
+	opts.Bidirectional = false
+	d := Evaluate(p, opts)
+	ratio := d.CommRing / d.CommT
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Fatalf("ring/collective ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestPipelineCostModelGates(t *testing.T) {
+	// With the cost model on, a communication-bound site stays blocking.
+	c, _ := agSiteWithShapes(8, 4096, 4096, 8)
+	opts := DefaultOptions(machine.TPUv4())
+	opts.Bidirectional = false
+	opts.Unroll = false
+	report, err := Apply(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SitesFound != 1 || report.SitesRejected != 1 || report.SitesDecomposed != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	// The AllGather must still be present.
+	found := false
+	for _, in := range c.Instructions() {
+		if in.Op == hlo.OpAllGather {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rejected site was rewritten anyway")
+	}
+}
+
+func TestCostChooserPrefersLongerCollective(t *testing.T) {
+	// An einsum with two AllGather candidates: the slower (bigger)
+	// collective should be chosen when the einsum cannot beat both.
+	c := hlo.NewComputation("two_ag")
+	a := c.Parameter(0, "a", []int{64, 512})
+	b := c.Parameter(1, "b", []int{512, 1024})
+	fullA := c.AllGather(a, 0, ringGroups(8)) // 512x512 gathered
+	fullB := c.AllGather(b, 1, ringGroups(8)) // 512x8192 gathered — bigger
+	c.Einsum("mk,kn->mn", fullA, fullB)
+	spec := machine.TPUv4()
+	patterns := FindPatterns(c, CostChooser{Spec: spec})
+	if len(patterns) != 1 {
+		t.Fatalf("got %d patterns, want 1 (chooser must pick one)", len(patterns))
+	}
+	if patterns[0].Collective.Operands[0].Name != "b" {
+		t.Fatalf("chooser picked %s, want the larger collective on b", patterns[0].Collective.Operands[0].Name)
+	}
+}
+
+func TestCostChooserPrefersSmallerShardWhenEinsumFasterThanBoth(t *testing.T) {
+	// When the einsum is faster than both collectives, neither transfer
+	// can be fully hidden; §5.5 then minimizes the unhidden loop
+	// prologue/epilogue by picking the smaller circulated shard.
+	c := hlo.NewComputation("two_ag_slowlinks")
+	a := c.Parameter(0, "a", []int{16, 512})
+	b := c.Parameter(1, "b", []int{512, 64})
+	fa := c.AllGather(a, 0, ringGroups(2))
+	fb := c.AllGather(b, 1, ringGroups(2))
+	c.Einsum("mk,kn->mn", fa, fb)
+	spec := machine.TPUv4()
+	spec.LinkBandwidth = 1e6 // slow links: einsum faster than both
+	patterns := FindPatterns(c, CostChooser{Spec: spec})
+	if len(patterns) != 1 {
+		t.Fatalf("got %d patterns", len(patterns))
+	}
+	// Shards: a is 16x512 = 8192 elems, b is 512x64 = 32768 elems.
+	if patterns[0].Collective.Operands[0].Name != "a" {
+		t.Fatalf("chooser picked %s, want the smaller shard a", patterns[0].Collective.Operands[0].Name)
+	}
+}
+
+func TestEvaluateReduceScatterCounts(t *testing.T) {
+	// RS decomposition sends N shards (Algorithm 1 sends every
+	// iteration), vs N-1 for AllGather.
+	rng := ringGroups(4)
+	c := hlo.NewComputation("rs_cm")
+	a := c.Parameter(0, "a", []int{64, 128})
+	b := c.Parameter(1, "b", []int{128, 256})
+	ein := c.Einsum("mk,kn->mn", a, b)
+	c.ReduceScatter(ein, 0, rng)
+	ps := FindPatterns(c, FirstChooser{})
+	if len(ps) != 1 {
+		t.Fatal("no RS pattern")
+	}
+	opts := DefaultOptions(machine.TPUv4())
+	opts.Bidirectional = false
+	opts.Unroll = false
+	d := Evaluate(ps[0], opts)
+	shard := ps[0].Collective.ByteSize()
+	wantRing := 4 * opts.Spec.TransferTime(shard, 1)
+	if diff := d.CommRing - wantRing; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("RS ring time = %v, want %v", d.CommRing, wantRing)
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+
+	"overlap/internal/hlo"
+)
+
+// Decompose rewrites one matched site into its Looped CollectiveEinsum
+// form (emitted fully expanded, since the trip count equals the known
+// partition count). The blocking CollectivePermutes it emits are turned
+// asynchronous by the later scheduling pass.
+//
+// The rewrite replaces all uses of the pattern's root (the einsum for
+// AllGather-Einsum, the ReduceScatter for Einsum-ReduceScatter) and
+// leaves dead originals for DCE.
+func Decompose(c *hlo.Computation, p Pattern, opts Options) error {
+	if opts.Rolled {
+		return DecomposeRolled(c, p)
+	}
+	var err error
+	c.WithRootPreserved(func() { err = decomposeExpanded(c, p, opts) })
+	return err
+}
+
+func decomposeExpanded(c *hlo.Computation, p Pattern, opts Options) error {
+	bidirectional := opts.Bidirectional && p.Ring.N%2 == 0
+	var result *hlo.Instruction
+	var root *hlo.Instruction
+	switch p.Kind {
+	case AllGatherEinsum:
+		root = p.Einsum
+		if bidirectional {
+			result = decomposeAllGatherBidirectional(c, p, opts)
+		} else {
+			result = decomposeAllGather(c, p, opts)
+		}
+	case EinsumReduceScatter:
+		root = p.Collective
+		switch {
+		case bidirectional:
+			result = decomposeReduceScatterBidirectional(c, p, opts)
+		case opts.Unroll && p.Ring.N%2 == 0:
+			result = decomposeReduceScatterUnrolled(c, p)
+		default:
+			result = decomposeReduceScatter(c, p, opts)
+		}
+	default:
+		return fmt.Errorf("core: unknown pattern kind %v", p.Kind)
+	}
+	c.ReplaceAllUsesWith(root, result)
+	c.ScheduleStableTopological()
+	c.RemoveDeadCode()
+	return c.Verify()
+}
+
+// maybeCopy models the loop-carried buffer copy the naive (non-unrolled)
+// rolled loop incurs (§5.4.1); unrolling provides double buffering and
+// eliminates it.
+func maybeCopy(c *hlo.Computation, v *hlo.Instruction, opts Options) *hlo.Instruction {
+	if opts.Unroll {
+		return v
+	}
+	return c.Copy(v)
+}
+
+// staticOffsets returns all-zero offsets of the given rank with position
+// dim replaced by off.
+func staticOffsets(rank, dim int, off hlo.DynOffset) []hlo.DynOffset {
+	out := make([]hlo.DynOffset, rank)
+	for i := range out {
+		out[i] = hlo.Static(0)
+	}
+	if dim >= 0 {
+		out[dim] = off
+	}
+	return out
+}
+
+// einsumWith rebuilds the pattern's einsum with operand side replaced.
+func einsumWith(c *hlo.Computation, p Pattern, side int, repl *hlo.Instruction) *hlo.Instruction {
+	ops := [2]*hlo.Instruction{p.Einsum.Operands[0], p.Einsum.Operands[1]}
+	ops[side] = repl
+	return c.Einsum(p.Einsum.EinsumSpec, ops[0], ops[1])
+}
+
+// sliceOther dynamic-slices the non-gathered operand along OtherDim to
+// the shard selected by ((pos + add) mod N) — the Case 2/3 input
+// preparation of §5.1.
+func sliceOther(c *hlo.Computation, p Pattern, add, shard int) *hlo.Instruction {
+	other := p.Einsum.Operands[1-p.Side]
+	sizes := append([]int(nil), other.Shape...)
+	sizes[p.OtherDim] = shard
+	return c.DynamicSlice(other, staticOffsets(len(other.Shape), p.OtherDim, p.Ring.PosOffset(add, shard)), sizes)
+}
+
+// decomposeAllGather emits the unidirectional Looped CollectiveEinsum
+// for an AllGather-Einsum site (Algorithm 1, AllGather flavor): shards
+// circular-shift left while each device computes on the shard it holds;
+// the shard held at step i on ring position pos is (pos + i) mod N.
+func decomposeAllGather(c *hlo.Computation, p Pattern, opts Options) *hlo.Instruction {
+	n := p.Ring.N
+	shardOp := p.Collective.Operands[0]
+	shard := shardOp.Shape[p.GatherDim]
+	left := p.Ring.ShiftPairs(-1)
+
+	result := c.Zeros("", p.Einsum.Shape)
+	cur := shardOp
+	defer c.SetBuildGroup(0)
+	for i := 0; i < n; i++ {
+		c.NewBuildGroup()
+		var next *hlo.Instruction
+		if i < n-1 {
+			next = c.CollectivePermute(maybeCopy(c, cur, opts), left)
+		}
+		var partial *hlo.Instruction
+		switch p.Case {
+		case CaseNonContracting:
+			partial = einsumWith(c, p, p.Side, cur)
+			off := staticOffsets(len(p.Einsum.Shape), p.OutDim, p.Ring.PosOffset(i, partial.Shape[p.OutDim]))
+			result = c.DynamicUpdateSlice(result, partial, off)
+		case CaseContracting:
+			partial = buildEinsum(c, p, cur, sliceOther(c, p, i, shard))
+			result = c.Add(result, partial)
+		case CaseBatch:
+			partial = buildEinsum(c, p, cur, sliceOther(c, p, i, shard))
+			off := staticOffsets(len(p.Einsum.Shape), p.OutDim, p.Ring.PosOffset(i, partial.Shape[p.OutDim]))
+			result = c.DynamicUpdateSlice(result, partial, off)
+		}
+		cur = next
+	}
+	return result
+}
+
+// decomposeAllGatherBidirectional emits the §5.4.2 variant: a prologue
+// shifts each local shard clockwise by one, then every step computes on
+// two shards at once — the counter-clockwise stream holding shard
+// (pos + i) and the clockwise stream holding shard (pos - 1 - i) — and
+// forwards them in opposite directions.
+func decomposeAllGatherBidirectional(c *hlo.Computation, p Pattern, opts Options) *hlo.Instruction {
+	n := p.Ring.N
+	shardOp := p.Collective.Operands[0]
+	shard := shardOp.Shape[p.GatherDim]
+	left := p.Ring.ShiftPairs(-1)
+	right := p.Ring.ShiftPairs(+1)
+
+	result := c.Zeros("", p.Einsum.Shape)
+	ccw := shardOp
+	cw := c.CollectivePermute(shardOp, right) // prologue
+	defer c.SetBuildGroup(0)
+	for i := 0; i < n/2; i++ {
+		c.NewBuildGroup()
+		var nextCCW, nextCW *hlo.Instruction
+		if i < n/2-1 {
+			nextCCW = c.CollectivePermute(maybeCopy(c, ccw, opts), left)
+			nextCW = c.CollectivePermute(maybeCopy(c, cw, opts), right)
+		}
+		switch p.Case {
+		case CaseContracting:
+			// Both shards contribute additively through one einsum over
+			// the concatenated contracting dimension — the "single
+			// operation" of §5.4.2, which doubles the per-step
+			// computation and fuses with the accumulation.
+			pair := c.Concat(p.GatherDim, ccw, cw)
+			oCat := c.Concat(p.OtherDim, sliceOther(c, p, i, shard), sliceOther(c, p, -1-i, shard))
+			partial := buildEinsum(c, p, pair, oCat)
+			result = c.Add(result, partial)
+		case CaseNonContracting, CaseBatch:
+			// The two shards land at non-adjacent output offsets. One
+			// concatenated einsum would need a multi-output fusion to
+			// keep its result out of memory, which the machine model
+			// does not represent; emitting one einsum per direction
+			// keeps each partial fused with its own result update while
+			// preserving the doubled per-step computation.
+			for k, stream := range []*hlo.Instruction{ccw, cw} {
+				// One fusion scope per direction so each partial einsum
+				// fuses with its own result update.
+				c.NewBuildGroup()
+				add := i
+				if k == 1 {
+					add = -1 - i
+				}
+				var partial *hlo.Instruction
+				if p.Case == CaseNonContracting {
+					partial = einsumWith(c, p, p.Side, stream)
+				} else {
+					partial = buildEinsum(c, p, stream, sliceOther(c, p, add, shard))
+				}
+				off := staticOffsets(len(p.Einsum.Shape), p.OutDim, p.Ring.PosOffset(add, partial.Shape[p.OutDim]))
+				result = c.DynamicUpdateSlice(result, partial, off)
+			}
+		}
+		ccw, cw = nextCCW, nextCW
+	}
+	return result
+}
+
+// decomposeReduceScatter emits the unidirectional Einsum-ReduceScatter
+// loop (Algorithm 1, ReduceScatter flavor): an accumulator shard
+// circular-shifts left every step — including step 0, per Algorithm 1 —
+// and ring position pos computes the partial for shard (pos + i + 1)
+// mod N, so the final shard id matches the device's position.
+func decomposeReduceScatter(c *hlo.Computation, p Pattern, opts Options) *hlo.Instruction {
+	n := p.Ring.N
+	x := p.Einsum.Operands[p.SliceSide]
+	shard := x.Shape[p.SliceDim] / n
+	left := p.Ring.ShiftPairs(-1)
+
+	acc := c.Zeros("", p.Collective.Shape)
+	defer c.SetBuildGroup(0)
+	for i := 0; i < n; i++ {
+		c.NewBuildGroup()
+		sent := c.CollectivePermute(maybeCopy(c, acc, opts), left)
+		xs := sliceX(c, p, i+1, shard)
+		partial := einsumWith(c, p, p.SliceSide, xs)
+		acc = c.Add(sent, partial)
+	}
+	return acc
+}
+
+// decomposeReduceScatterUnrolled emits the §5.4.1 degree-2 unrolled
+// variant (Fig 8): the accumulation is split into two independent
+// chains that each hop two ring positions per step — chain A gathering
+// the even-distance contributions of shard pos (indices pos + 2j + 2)
+// and chain B the odd-distance contributions of shard pos + 1 (indices
+// pos + 2j + 3) — so each chain's CollectivePermuteDone can overlap the
+// other chain's einsum even when the accumulation is fused. An epilogue
+// CollectivePermute shifts chain B's result right by one to align shard
+// ids before the final addition.
+func decomposeReduceScatterUnrolled(c *hlo.Computation, p Pattern) *hlo.Instruction {
+	n := p.Ring.N
+	x := p.Einsum.Operands[p.SliceSide]
+	shard := x.Shape[p.SliceDim] / n
+	left2 := p.Ring.ShiftPairs(-2)
+	right1 := p.Ring.ShiftPairs(+1)
+
+	accA := c.Zeros("", p.Collective.Shape)
+	accB := c.Zeros("", p.Collective.Shape)
+	defer c.SetBuildGroup(0)
+	for j := 0; j < n/2; j++ {
+		c.NewBuildGroup()
+		sentA := c.CollectivePermute(accA, left2)
+		pA := einsumWith(c, p, p.SliceSide, sliceX(c, p, 2*j+2, shard))
+		accA = c.Add(sentA, pA)
+
+		c.NewBuildGroup()
+		sentB := c.CollectivePermute(accB, left2)
+		pB := einsumWith(c, p, p.SliceSide, sliceX(c, p, 2*j+3, shard))
+		accB = c.Add(sentB, pB)
+	}
+	aligned := c.CollectivePermute(accB, right1)
+	return c.Add(accA, aligned)
+}
+
+// decomposeReduceScatterBidirectional emits the §5.4.2 variant (Fig
+// 10): two accumulators travel in opposite directions — the
+// counter-clockwise one holds shard (pos + i + 1 - N/2), the clockwise
+// one shard (pos - i + N/2) — with each step computing both partials
+// through a single einsum over the concatenated operand slices. The
+// epilogue shifts the clockwise result one more step so both partial
+// shards carry the device's own shard id, then adds them.
+func decomposeReduceScatterBidirectional(c *hlo.Computation, p Pattern, opts Options) *hlo.Instruction {
+	n := p.Ring.N
+	x := p.Einsum.Operands[p.SliceSide]
+	shard := x.Shape[p.SliceDim] / n
+	left := p.Ring.ShiftPairs(-1)
+	right := p.Ring.ShiftPairs(+1)
+
+	accC := c.Zeros("", p.Collective.Shape)
+	accW := c.Zeros("", p.Collective.Shape)
+	defer c.SetBuildGroup(0)
+	for i := 0; i < n/2; i++ {
+		// One einsum per direction so each partial fuses with its own
+		// accumulation (see the bidirectional AllGather note); the
+		// per-step computation is still doubled.
+		c.NewBuildGroup()
+		sentC := c.CollectivePermute(maybeCopy(c, accC, opts), left)
+		pC := einsumWith(c, p, p.SliceSide, sliceX(c, p, i+1-n/2, shard))
+		accC = c.Add(sentC, pC)
+
+		c.NewBuildGroup()
+		sentW := c.CollectivePermute(maybeCopy(c, accW, opts), right)
+		pW := einsumWith(c, p, p.SliceSide, sliceX(c, p, n/2-i, shard))
+		accW = c.Add(sentW, pW)
+	}
+	aligned := c.CollectivePermute(accW, right)
+	return c.Add(accC, aligned)
+}
+
+// sliceX dynamic-slices the scattered-label operand to the shard
+// selected by ((pos + add) mod N).
+func sliceX(c *hlo.Computation, p Pattern, add, shard int) *hlo.Instruction {
+	x := p.Einsum.Operands[p.SliceSide]
+	sizes := append([]int(nil), x.Shape...)
+	sizes[p.SliceDim] = shard
+	return c.DynamicSlice(x, staticOffsets(len(x.Shape), p.SliceDim, p.Ring.PosOffset(add, shard)), sizes)
+}
+
+// buildEinsum rebuilds the pattern's einsum with the gathered-side and
+// other-side values placed in operand order.
+func buildEinsum(c *hlo.Computation, p Pattern, sideVal, otherVal *hlo.Instruction) *hlo.Instruction {
+	side := p.Side
+	if p.Kind == EinsumReduceScatter {
+		side = p.SliceSide
+	}
+	if side == 0 {
+		return c.Einsum(p.Einsum.EinsumSpec, sideVal, otherVal)
+	}
+	return c.Einsum(p.Einsum.EinsumSpec, otherVal, sideVal)
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+// fig11Graph reproduces the pattern of Fig 11: an Add whose operands
+// are two einsums, one of which depends on an asynchronous
+// CollectivePermuteDone.
+func fig11Graph() (*hlo.Computation, *hlo.Instruction, *hlo.Instruction) {
+	c := hlo.NewComputation("fig11")
+	a := c.Parameter(0, "a", []int{8, 8})
+	w := c.Parameter(1, "w", []int{8, 8})
+	start := c.CollectivePermuteStart(a, []hlo.SourceTargetPair{{Source: 0, Target: 1}, {Source: 1, Target: 0}})
+	done := c.CollectivePermuteDone(start)
+	einIndependent := c.Einsum("mk,kn->mn", a, w)
+	einWithDone := c.Einsum("mk,kn->mn", done, w)
+	c.Add(einIndependent, einWithDone)
+	return c, einIndependent, einWithDone
+}
+
+func TestFusionHeuristicPrefersDoneDependentEinsum(t *testing.T) {
+	c, einFree, einDone := fig11Graph()
+	formed := FuseAccumulation(c, true)
+	if formed != 1 {
+		t.Fatalf("formed %d fusions, want 1", formed)
+	}
+	// The independent einsum must survive standalone (it overlaps the
+	// transfer); the done-dependent one must be inside the fusion.
+	var fusion *hlo.Instruction
+	sawFree, sawDone := false, false
+	for _, in := range c.Instructions() {
+		switch in {
+		case einFree:
+			sawFree = true
+		case einDone:
+			sawDone = true
+		}
+		if in.Op == hlo.OpFusion {
+			fusion = in
+		}
+	}
+	if fusion == nil {
+		t.Fatal("no fusion instruction")
+	}
+	if !sawFree {
+		t.Fatal("independent einsum was fused away (Fig 11a regression)")
+	}
+	if sawDone {
+		t.Fatal("done-dependent einsum not fused (heuristic inactive)")
+	}
+}
+
+func TestFusionDefaultTakesFirstOperand(t *testing.T) {
+	c, einFree, _ := fig11Graph()
+	FuseAccumulation(c, false)
+	// With the naive heuristic the first operand (the independent
+	// einsum) is fused — the bad decision of Fig 11a.
+	for _, in := range c.Instructions() {
+		if in == einFree {
+			t.Fatal("default heuristic did not fuse the first einsum")
+		}
+	}
+}
+
+func TestFusionPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	build := func() *hlo.Computation {
+		c, _, _ := fig11Graph()
+		return c
+	}
+	args := [][]*tensor.Tensor{
+		{tensor.Rand(rng, 8, 8), tensor.Rand(rng, 8, 8)},
+		{tensor.Rand(rng, 8, 8)},
+	}
+	base := build()
+	ref, err := sim.Interpret(base, 2, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, friendly := range []bool{false, true} {
+		fused := build()
+		FuseAccumulation(fused, friendly)
+		if err := fused.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.Interpret(fused, 2, args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range ref {
+			if !got[d].AllClose(ref[d], 1e-12) {
+				t.Fatalf("friendly=%v device %d diverges", friendly, d)
+			}
+		}
+	}
+}
+
+func TestFusionRespectsGroupBoundaries(t *testing.T) {
+	// Two tagged groups must not merge into one region even when the
+	// dataflow would allow it.
+	c := hlo.NewComputation("groups")
+	a := c.Parameter(0, "a", []int{4, 4})
+	b := c.Parameter(1, "b", []int{4, 4})
+	c.NewBuildGroup()
+	e1 := c.Einsum("mk,kn->mn", a, b)
+	add1 := c.Add(e1, a)
+	c.NewBuildGroup()
+	e2 := c.Einsum("mk,kn->mn", add1, b)
+	c.Add(e2, add1)
+	c.SetBuildGroup(0)
+	formed := FuseAccumulation(c, true)
+	if formed != 2 {
+		t.Fatalf("formed %d fusions, want 2 (one per group)", formed)
+	}
+}
+
+func TestConcatToPadMaxRewriteEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	build := func() *hlo.Computation {
+		c := hlo.NewComputation("cpm")
+		a := c.Parameter(0, "a", []int{2, 3})
+		b := c.Parameter(1, "b", []int{2, 3})
+		w := c.Parameter(2, "w", []int{6, 4})
+		cat := c.Concat(1, a, b)
+		c.Einsum("mk,kn->mn", cat, w)
+		return c
+	}
+	args := [][]*tensor.Tensor{
+		{tensor.Rand(rng, 2, 3)}, {tensor.Rand(rng, 2, 3)}, {tensor.Rand(rng, 6, 4)},
+	}
+	base := build()
+	ref, err := sim.Interpret(base, 1, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := build()
+	if n := RewriteConcatToPadMax(rw); n != 1 {
+		t.Fatalf("rewrote %d concats, want 1", n)
+	}
+	for _, in := range rw.Instructions() {
+		if in.Op == hlo.OpConcat {
+			t.Fatal("concat survived the rewrite")
+		}
+	}
+	got, err := sim.Interpret(rw, 1, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].AllClose(ref[0], 1e-12) {
+		t.Fatal("pad/max rewrite changed the result")
+	}
+}
+
+func TestConcatToPadMaxSkipsNonEinsumUsers(t *testing.T) {
+	c := hlo.NewComputation("skip")
+	a := c.Parameter(0, "a", []int{2, 3})
+	b := c.Parameter(1, "b", []int{2, 3})
+	cat := c.Concat(1, a, b)
+	c.Copy(cat)
+	if n := RewriteConcatToPadMax(c); n != 0 {
+		t.Fatalf("rewrote %d concats feeding non-einsum users", n)
+	}
+}
+
+func TestPipelineWithConcatRewrite(t *testing.T) {
+	// Full pipeline with ConcatToPadMax on a bidirectional site must
+	// stay semantically equivalent.
+	rng := rand.New(rand.NewSource(11))
+	tc := makeSite(siteAGNonContracting, ringGroups(4), 4, rng)
+	opts := forceOpts(true, true, SchedulerBottomUp, true)
+	opts.ConcatToPadMax = true
+	checkEquivalence(t, tc, opts, "concat-padmax-pipeline")
+}
+
+func TestFusionSkipsMultiUserProducers(t *testing.T) {
+	// An einsum with a second external user must not be pulled into the
+	// region.
+	c := hlo.NewComputation("multiuser")
+	a := c.Parameter(0, "a", []int{4, 4})
+	ein := c.Einsum("mk,kn->mn", a, a)
+	add := c.Add(ein, a)
+	// A collective user can never join a fusion region, so the einsum
+	// must stay standalone.
+	sent := c.CollectivePermute(ein, []hlo.SourceTargetPair{{Source: 0, Target: 1}, {Source: 1, Target: 0}})
+	c.Add(add, sent)
+	FuseAccumulation(c, true)
+	found := false
+	for _, in := range c.Instructions() {
+		if in == ein {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("multi-user einsum was fused")
+	}
+}

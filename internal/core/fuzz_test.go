@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+// The fuzz suite generates random SPMD programs containing chained
+// einsums, element-wise ops and collectives, runs the full pipeline
+// under randomized options, and checks every invariant at once:
+// verifier cleanliness, semantic equivalence on all devices, schedule
+// validity, text round-trip stability and memory-analysis sanity.
+
+// randomProgram builds a random valid computation over a ring of n
+// devices. Returned args feed its parameters with per-device values.
+func randomProgram(rng *rand.Rand, n int) (*hlo.Computation, [][]*tensor.Tensor) {
+	c := hlo.NewComputation(fmt.Sprintf("fuzz_%d", rng.Int63()))
+	groups := ringGroups(n)
+
+	type val struct {
+		in *hlo.Instruction
+	}
+	var pool []val
+	var args [][]*tensor.Tensor
+	paramIdx := 0
+
+	dim := func() int { return (1 + rng.Intn(3)) * 2 } // 2,4,6
+	newParam := func(shape []int) *hlo.Instruction {
+		p := c.Parameter(paramIdx, fmt.Sprintf("p%d", paramIdx), shape)
+		paramIdx++
+		vals := make([]*tensor.Tensor, n)
+		for d := range vals {
+			vals[d] = tensor.Rand(rng, shape...)
+		}
+		args = append(args, vals)
+		pool = append(pool, val{p})
+		return p
+	}
+
+	// Seed the pool.
+	for i := 0; i < 2+rng.Intn(2); i++ {
+		newParam([]int{dim(), dim()})
+	}
+
+	steps := 6 + rng.Intn(8)
+	for s := 0; s < steps; s++ {
+		pick := pool[rng.Intn(len(pool))].in
+		switch rng.Intn(6) {
+		case 0: // einsum with a fresh compatible parameter
+			k := pick.Shape[1]
+			rhs := newParam([]int{k, dim()})
+			pool = append(pool, val{c.Einsum("mk,kn->mn", pick, rhs)})
+		case 1: // element-wise add with itself (always compatible)
+			pool = append(pool, val{c.Add(pick, pick)})
+		case 2: // AllGather feeding an einsum: a decomposable site
+			shard := newParam([]int{dim(), dim()})
+			full := c.AllGather(shard, 0, groups)
+			other := newParam([]int{full.Shape[1], dim()})
+			pool = append(pool, val{c.Einsum("mk,kn->mn", full, other)})
+		case 3: // einsum feeding a ReduceScatter: the other site kind
+			m := n * dim()
+			lhs := newParam([]int{m, dim()})
+			rhs := newParam([]int{lhs.Shape[1], dim()})
+			ein := c.Einsum("mk,kn->mn", lhs, rhs)
+			pool = append(pool, val{c.ReduceScatter(ein, 0, groups)})
+		case 4: // AllReduce (only the SplitAllReduce pass can touch it)
+			pool = append(pool, val{c.AllReduce(pick, groups)})
+		case 5: // copy chain
+			pool = append(pool, val{c.Copy(pick)})
+		}
+	}
+
+	// Pin everything live.
+	sinks := make([]*hlo.Instruction, 0, len(pool))
+	for _, v := range pool {
+		if v.in.NumUsers() == 0 && v.in.Op != hlo.OpParameter {
+			sinks = append(sinks, v.in)
+		}
+	}
+	if len(sinks) == 0 {
+		sinks = append(sinks, pool[len(pool)-1].in)
+	}
+	c.Tuple(sinks...)
+	return c, args
+}
+
+func randomOptions(rng *rand.Rand) Options {
+	opts := Options{
+		Spec:                  machine.TPUv4(),
+		Unroll:                rng.Intn(2) == 0,
+		Bidirectional:         rng.Intn(2) == 0,
+		Rolled:                rng.Intn(4) == 0,
+		UseCostModel:          false,
+		Scheduler:             []SchedulerKind{SchedulerNone, SchedulerBottomUp, SchedulerTopDown}[rng.Intn(3)],
+		FuseAddIntoEinsum:     rng.Intn(2) == 0,
+		OverlapFriendlyFusion: rng.Intn(2) == 0,
+		ConcatToPadMax:        rng.Intn(3) == 0,
+		SplitAllReduce:        rng.Intn(2) == 0,
+	}
+	return opts
+}
+
+func TestPipelineFuzz(t *testing.T) {
+	const seeds = 60
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 2 + rng.Intn(4)
+			c, args := randomProgram(rng, n)
+			if err := c.Verify(); err != nil {
+				t.Fatalf("generated program invalid: %v", err)
+			}
+
+			// Reference values on every device, read from every tuple
+			// operand (the root itself is a placeholder).
+			refAll, err := sim.InterpretAll(c, n, args)
+			if err != nil {
+				t.Fatalf("baseline interpret: %v", err)
+			}
+			root := c.Root()
+			refs := make([][]*tensor.Tensor, len(root.Operands))
+			for i, op := range root.Operands {
+				refs[i] = refAll[op]
+			}
+
+			opts := randomOptions(rng)
+			report, err := Apply(c, opts)
+			if err != nil {
+				t.Fatalf("Apply(%+v): %v", opts, err)
+			}
+			_ = report
+			if err := c.Verify(); err != nil {
+				t.Fatalf("pipeline output invalid: %v", err)
+			}
+
+			gotAll, err := sim.InterpretAll(c, n, args)
+			if err != nil {
+				t.Fatalf("transformed interpret: %v", err)
+			}
+			newRoot := c.Root()
+			if len(newRoot.Operands) != len(refs) {
+				t.Fatalf("tuple arity changed: %d vs %d", len(newRoot.Operands), len(refs))
+			}
+			for i, op := range newRoot.Operands {
+				got := gotAll[op]
+				for d := 0; d < n; d++ {
+					if !got[d].AllClose(refs[i][d], 1e-9) {
+						t.Fatalf("output %d device %d diverged by %v (opts %+v)",
+							i, d, got[d].MaxDifference(refs[i][d]), opts)
+					}
+				}
+			}
+
+			// The timing simulation must accept the schedule.
+			if _, err := sim.Simulate(c, n, opts.Spec); err != nil {
+				t.Fatalf("simulate: %v", err)
+			}
+			// The memory analysis must not panic and must be positive.
+			if pm := hlo.PeakMemory(c); pm.PeakBytes <= 0 {
+				t.Fatalf("degenerate peak memory %d", pm.PeakBytes)
+			}
+			// The text form must round-trip.
+			text := c.Format()
+			parsed, err := hlo.Parse(text)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if parsed.Format() != text {
+				t.Fatal("format/parse round trip unstable")
+			}
+		})
+	}
+}

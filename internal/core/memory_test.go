@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/sim"
+)
+
+// TestSchedulingPreservesLiveness checks the §5.2 design constraint: the
+// overlap schedulers take a memory-reasonable input order and must not
+// blow up buffer liveness. We allow a modest growth factor — start/done
+// windows necessarily keep receive buffers alive longer.
+func TestSchedulingPreservesLiveness(t *testing.T) {
+	const n = 8
+	for _, sched := range []SchedulerKind{SchedulerBottomUp, SchedulerTopDown} {
+		unscheduled := bigSite(n)
+		if _, err := Apply(unscheduled, forceOpts(true, true, SchedulerNone, true)); err != nil {
+			t.Fatal(err)
+		}
+		before := hlo.PeakMemory(unscheduled)
+
+		scheduled := bigSite(n)
+		opts := forceOpts(true, true, sched, true)
+		if _, err := Apply(scheduled, opts); err != nil {
+			t.Fatal(err)
+		}
+		after := hlo.PeakMemory(scheduled)
+
+		if after.PeakBytes > 2*before.PeakBytes {
+			t.Fatalf("%v: scheduling grew peak memory %d -> %d (more than 2x)",
+				sched, before.PeakBytes, after.PeakBytes)
+		}
+	}
+}
+
+// TestUnrollingTradesMemoryForCopies: the §5.4.1 unrolled
+// Einsum-ReduceScatter keeps two interleaved accumulation buffers alive
+// (double buffering), so its peak memory must not be lower than the
+// naive rolled-style chain, which instead pays per-iteration copies.
+func TestUnrollingTradesMemoryForCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	build := func(unroll bool) *hlo.Computation {
+		tc := makeSite(siteRS, ringGroups(8), 8, rng)
+		c := tc.build()
+		if _, err := Apply(c, forceOpts(unroll, false, SchedulerNone, false)); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	naive := hlo.PeakMemory(build(false))
+	unrolled := hlo.PeakMemory(build(true))
+	if unrolled.PeakBytes < naive.PeakBytes {
+		t.Fatalf("unrolled peak %d below naive %d; double buffering missing",
+			unrolled.PeakBytes, naive.PeakBytes)
+	}
+	// And the copies must be gone (checked structurally elsewhere) while
+	// memory stays within a small constant of the naive form.
+	if unrolled.PeakBytes > 3*naive.PeakBytes {
+		t.Fatalf("unrolled peak %d more than 3x naive %d", unrolled.PeakBytes, naive.PeakBytes)
+	}
+}
+
+// TestFormatParseRoundTripDecomposed: a fully decomposed, fused and
+// scheduled program survives the text round trip with identical
+// simulated behaviour.
+func TestFormatParseRoundTripDecomposed(t *testing.T) {
+	const n = 8
+	spec := machine.TPUv4()
+	c := bigSite(n)
+	if _, err := Apply(c, forceOpts(true, true, SchedulerBottomUp, true)); err != nil {
+		t.Fatal(err)
+	}
+	text := c.Format()
+	parsed, err := hlo.Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := parsed.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Format() != text {
+		t.Fatal("round trip text differs")
+	}
+	origBd, err := sim.Simulate(c, n, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsedBd, err := sim.Simulate(parsed, n, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origBd.StepTime != parsedBd.StepTime {
+		t.Fatalf("parsed program simulates differently: %v vs %v", parsedBd.StepTime, origBd.StepTime)
+	}
+}
+
+// TestRolledRoundTrip: the loop form also survives the text round trip.
+func TestRolledRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tc := makeSite(siteAGNonContracting, ringGroups(4), 4, rng)
+	c := tc.build()
+	if _, err := Apply(c, rolledOpts()); err != nil {
+		t.Fatal(err)
+	}
+	text := c.Format()
+	parsed, err := hlo.Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if parsed.Format() != text {
+		t.Fatal("rolled round trip text differs")
+	}
+	// The parsed program must still compute the right values.
+	ref, err := sim.Interpret(c, tc.n, tc.args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Interpret(parsed, tc.n, tc.args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range ref {
+		if !got[d].AllClose(ref[d], 1e-12) {
+			t.Fatalf("parsed rolled program diverges on device %d", d)
+		}
+	}
+}

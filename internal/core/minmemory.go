@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+
+	"overlap/internal/hlo"
+)
+
+// ScheduleMinMemory reorders the computation with a greedy list
+// scheduler that minimizes live bytes — the "existing instruction
+// scheduling pass (which uses an algorithm that tries to minimize the
+// memory usage)" whose output §5.2 feeds to the overlap schedulers. At
+// every step it picks, among ready instructions, the one with the best
+// immediate liveness delta: freed operand bytes minus allocated result
+// bytes, breaking ties toward the original order.
+//
+// The pipeline runs it before the overlap scheduling pass so the
+// bottom-up scheduler starts from the memory-friendly order the paper
+// assumes (its tie-breaking falls back to that order).
+func ScheduleMinMemory(c *hlo.Computation) error {
+	instrs := c.Instructions()
+	origPos := make(map[*hlo.Instruction]int, len(instrs))
+	for i, in := range instrs {
+		origPos[in] = i
+	}
+	opsLeft := make(map[*hlo.Instruction]int, len(instrs))
+	usersLeft := make(map[*hlo.Instruction]int, len(instrs))
+	for _, in := range instrs {
+		seen := map[*hlo.Instruction]bool{}
+		for _, op := range in.Operands {
+			if !seen[op] {
+				seen[op] = true
+				opsLeft[in]++
+			}
+		}
+		usersLeft[in] = in.NumUsers()
+	}
+
+	// delta estimates the immediate live-bytes change of scheduling in:
+	// its own allocation minus operands whose last use this is.
+	delta := func(in *hlo.Instruction) int64 {
+		d := allocBytes(in)
+		seen := map[*hlo.Instruction]bool{}
+		for _, op := range in.Operands {
+			if seen[op] {
+				continue
+			}
+			seen[op] = true
+			if usersLeft[op] == 1 && op.Op != hlo.OpParameter {
+				d -= allocBytes(op)
+			}
+		}
+		return d
+	}
+
+	var ready []*hlo.Instruction
+	for _, in := range instrs {
+		if opsLeft[in] == 0 {
+			ready = append(ready, in)
+		}
+	}
+	var order []*hlo.Instruction
+	for len(order) < len(instrs) {
+		if len(ready) == 0 {
+			break
+		}
+		sort.SliceStable(ready, func(i, j int) bool {
+			di, dj := delta(ready[i]), delta(ready[j])
+			if di != dj {
+				return di < dj
+			}
+			return origPos[ready[i]] < origPos[ready[j]]
+		})
+		cand := ready[0]
+		ready = ready[1:]
+		order = append(order, cand)
+		seen := map[*hlo.Instruction]bool{}
+		for _, op := range cand.Operands {
+			if !seen[op] {
+				seen[op] = true
+				usersLeft[op]--
+			}
+		}
+		for _, u := range cand.Users() {
+			opsLeft[u]--
+			if opsLeft[u] == 0 {
+				ready = append(ready, u)
+			}
+		}
+	}
+	return c.SetSchedule(order)
+}
+
+// allocBytes mirrors the memory analysis' allocation rules for the
+// common cases the greedy delta needs.
+func allocBytes(in *hlo.Instruction) int64 {
+	switch in.Op {
+	case hlo.OpTuple, hlo.OpReshape, hlo.OpCollectivePermuteDone:
+		return 0
+	default:
+		return in.ByteSize()
+	}
+}

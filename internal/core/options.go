@@ -1,0 +1,129 @@
+package core
+
+import "overlap/internal/machine"
+
+// SchedulerKind selects the asynchronous-collective scheduling approach
+// from §5.2.
+type SchedulerKind int
+
+const (
+	// SchedulerBottomUp is the reverse list scheduler of Algorithm 2,
+	// the paper's default (slightly better, more general).
+	SchedulerBottomUp SchedulerKind = iota
+	// SchedulerTopDown is the start-early/done-late forward scheduler.
+	SchedulerTopDown
+	// SchedulerNone leaves start/done pairs adjacent — communication is
+	// decomposed but not overlapped; useful for ablations.
+	SchedulerNone
+)
+
+func (s SchedulerKind) String() string {
+	switch s {
+	case SchedulerBottomUp:
+		return "bottom-up"
+	case SchedulerTopDown:
+		return "top-down"
+	default:
+		return "none"
+	}
+}
+
+// Options configures the overlap pipeline.
+type Options struct {
+	// Spec is the machine model used by the cost model and schedulers.
+	Spec machine.Spec
+
+	// Unroll enables the degree-2 loop unrolling of §5.4.1: it removes
+	// the loop-carried Copy instructions and, for Einsum-ReduceScatter,
+	// splits the accumulation into two interleaved chains (plus an
+	// alignment epilogue) so CollectivePermuteDones can overlap the
+	// other chain's einsum.
+	Unroll bool
+
+	// Bidirectional enables the §5.4.2 optimization: each step moves
+	// two shards in opposite ring directions, halving the ring's
+	// serialized transfer time and doubling per-step computation.
+	// Requires an even ring size; odd rings fall back to unidirectional.
+	Bidirectional bool
+
+	// Rolled emits the Looped CollectiveEinsum as an actual counted
+	// loop (hlo.OpLoop) instead of the expanded sequence. The rolled
+	// form is semantically identical but cannot be software-pipelined
+	// (start/done pairs cannot straddle the back-edge) and carries the
+	// per-iteration aliasing Copy, so it serves as a fidelity/ablation
+	// mode; Unroll and Bidirectional are ignored when set.
+	Rolled bool
+
+	// UseCostModel gates each site on the §5.5 benefit estimate; when
+	// false every matched site is decomposed.
+	UseCostModel bool
+
+	// Scheduler selects the §5.2 scheduling approach.
+	Scheduler SchedulerKind
+
+	// FuseAddIntoEinsum enables the fusion pass that merges result
+	// accumulation with its producing einsum (with the §5.4.3 heuristic
+	// of preferring the einsum that already depends on an asynchronous
+	// CollectivePermuteDone).
+	FuseAddIntoEinsum bool
+
+	// OverlapFriendlyFusion applies the §5.4.3 operand-choice heuristic;
+	// when false, fusion picks the first einsum operand (the "bad"
+	// default of Fig 11a), exposing the regression the paper describes.
+	OverlapFriendlyFusion bool
+
+	// RematerializeGathers duplicates multi-consumer AllGathers so each
+	// consuming einsum owns its gather, restoring the single-consumer
+	// pattern the decomposition matches. It trades extra wire time for
+	// lower memory pressure and more overlap sites, which pays off in
+	// autodiff-produced backward passes (the weight gradient shares the
+	// forward gather) but not where sharing was already cheap — so it
+	// is opt-in.
+	RematerializeGathers bool
+
+	// SplitAllReduce canonicalizes each AllReduce into ReduceScatter +
+	// AllGather before pattern matching (§2.1's identity), exposing both
+	// halves as decomposition targets — a natural extension the paper's
+	// future-work discussion implies.
+	SplitAllReduce bool
+
+	// ConcatToPadMax rewrites Concat(a,b) on einsum local operands into
+	// Max(PadLow, PadHigh) form (§5.4.3) so the pre-processing can fuse
+	// with the einsum.
+	ConcatToPadMax bool
+}
+
+// DefaultOptions returns the configuration the paper deploys: all
+// optimizations on, bottom-up scheduling, cost model enabled.
+func DefaultOptions(spec machine.Spec) Options {
+	return Options{
+		Spec:                  spec,
+		Unroll:                true,
+		Bidirectional:         true,
+		UseCostModel:          true,
+		Scheduler:             SchedulerBottomUp,
+		FuseAddIntoEinsum:     true,
+		OverlapFriendlyFusion: true,
+		ConcatToPadMax:        false,
+	}
+}
+
+// BaselineOptions returns a configuration with the overlap feature off;
+// Apply becomes a no-op and the program keeps its blocking collectives.
+func BaselineOptions(spec machine.Spec) Options {
+	return Options{Spec: spec, Scheduler: SchedulerNone}
+}
+
+// Report summarizes what the pipeline did to a computation.
+type Report struct {
+	// SitesFound counts matched collective/einsum pairs.
+	SitesFound int
+	// SitesDecomposed counts sites actually rewritten.
+	SitesDecomposed int
+	// SitesRejected counts sites the cost model declined.
+	SitesRejected int
+	// Decisions records the per-site cost-model evaluation.
+	Decisions []Decision
+	// FusionsFormed counts fusion nodes created.
+	FusionsFormed int
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"overlap/internal/hlo"
+)
+
+// Rolled emission: the Looped CollectiveEinsum as an actual counted
+// loop (hlo.OpLoop), the way a production compiler materializes it
+// before unrolling. The body is one iteration of Algorithm 1 — a
+// blocking CollectivePermute on the circulated buffer (with the
+// loop-carried aliasing Copy §5.4.1 describes), the partial einsum, and
+// the result update indexed by the induction variable. The rolled form
+// is semantically identical to the expanded form but cannot overlap:
+// asynchronous start/done pairs cannot straddle the loop back-edge, so
+// the optimizing pipeline (Options.Rolled == false) emits the expanded
+// sequence instead and lets the scheduler software-pipeline it.
+
+// PosOffsetIter returns ((pos + iter + add) mod N) * scale, the
+// loop-variant shard index of the rolled form.
+func (r RingInfo) PosOffsetIter(add, scale int) hlo.DynOffset {
+	return hlo.DynOffset{PIDFactor: 1, Div: r.Stride, IterFactor: 1, Add: add, Mod: r.N, Scale: scale}
+}
+
+// DecomposeRolled rewrites one site into a rolled Looped
+// CollectiveEinsum. Only the unidirectional variants exist in rolled
+// form; unrolling and bidirectional transfer are loop transformations
+// that the expanded emitter applies.
+func DecomposeRolled(c *hlo.Computation, p Pattern) error {
+	var err error
+	c.WithRootPreserved(func() { err = decomposeRolled(c, p) })
+	return err
+}
+
+func decomposeRolled(c *hlo.Computation, p Pattern) error {
+	var result *hlo.Instruction
+	var root *hlo.Instruction
+	switch p.Kind {
+	case AllGatherEinsum:
+		root = p.Einsum
+		result = rolledAllGather(c, p)
+	case EinsumReduceScatter:
+		root = p.Collective
+		result = rolledReduceScatter(c, p)
+	default:
+		return fmt.Errorf("core: unknown pattern kind %v", p.Kind)
+	}
+	c.ReplaceAllUsesWith(root, result)
+	c.ScheduleStableTopological()
+	c.RemoveDeadCode()
+	return c.Verify()
+}
+
+// rolledAllGather emits:
+//
+//	loop(cur = shard, result = 0, other) x N:
+//	  next    = collective-permute(copy(cur), shift-left)
+//	  partial = einsum(cur, other-or-slice)
+//	  result' = update(result, partial, f(pos, i))
+func rolledAllGather(c *hlo.Computation, p Pattern) *hlo.Instruction {
+	n := p.Ring.N
+	shardOp := p.Collective.Operands[0]
+	other := p.Einsum.Operands[1-p.Side]
+	shard := shardOp.Shape[p.GatherDim]
+	left := p.Ring.ShiftPairs(-1)
+
+	body := hlo.NewComputation("rolled." + p.Einsum.Name)
+	pCur := body.Parameter(0, "cur", shardOp.Shape)
+	pRes := body.Parameter(1, "result", p.Einsum.Shape)
+	pOther := body.Parameter(2, "other", other.Shape)
+
+	next := body.CollectivePermute(body.Copy(pCur), left)
+	var res *hlo.Instruction
+	switch p.Case {
+	case CaseNonContracting:
+		partial := buildEinsumIn(body, p, pCur, pOther)
+		off := staticOffsets(len(p.Einsum.Shape), p.OutDim, p.Ring.PosOffsetIter(0, partial.Shape[p.OutDim]))
+		res = body.DynamicUpdateSlice(pRes, partial, off)
+	case CaseContracting, CaseBatch:
+		sizes := append([]int(nil), other.Shape...)
+		sizes[p.OtherDim] = shard
+		slice := body.DynamicSlice(pOther,
+			staticOffsets(len(other.Shape), p.OtherDim, p.Ring.PosOffsetIter(0, shard)), sizes)
+		partial := buildEinsumIn(body, p, pCur, slice)
+		if p.Case == CaseContracting {
+			res = body.Add(pRes, partial)
+		} else {
+			off := staticOffsets(len(p.Einsum.Shape), p.OutDim, p.Ring.PosOffsetIter(0, partial.Shape[p.OutDim]))
+			res = body.DynamicUpdateSlice(pRes, partial, off)
+		}
+	}
+	body.Tuple(next, res, pOther)
+
+	zero := c.Zeros("", p.Einsum.Shape)
+	return c.Loop(body, n, 1, shardOp, zero, other)
+}
+
+// rolledReduceScatter emits:
+//
+//	loop(acc = 0, lhs, rhs) x N:
+//	  sent    = collective-permute(copy(acc), shift-left)
+//	  xs      = dynamic-slice(X, f(pos, i+1))
+//	  partial = einsum(..., xs, ...)
+//	  acc'    = sent + partial
+func rolledReduceScatter(c *hlo.Computation, p Pattern) *hlo.Instruction {
+	n := p.Ring.N
+	x := p.Einsum.Operands[p.SliceSide]
+	other := p.Einsum.Operands[1-p.SliceSide]
+	shard := x.Shape[p.SliceDim] / n
+	left := p.Ring.ShiftPairs(-1)
+
+	body := hlo.NewComputation("rolled." + p.Collective.Name)
+	pAcc := body.Parameter(0, "acc", p.Collective.Shape)
+	pX := body.Parameter(1, "x", x.Shape)
+	pOther := body.Parameter(2, "other", other.Shape)
+
+	sent := body.CollectivePermute(body.Copy(pAcc), left)
+	sizes := append([]int(nil), x.Shape...)
+	sizes[p.SliceDim] = shard
+	xs := body.DynamicSlice(pX,
+		staticOffsets(len(x.Shape), p.SliceDim, p.Ring.PosOffsetIter(1, shard)), sizes)
+	partial := buildEinsumIn(body, p, xs, pOther)
+	acc := body.Add(sent, partial)
+	body.Tuple(acc, pX, pOther)
+
+	zero := c.Zeros("", p.Collective.Shape)
+	return c.Loop(body, n, 0, zero, x, other)
+}
+
+// buildEinsumIn is buildEinsum targeting an arbitrary computation (the
+// loop body).
+func buildEinsumIn(into *hlo.Computation, p Pattern, sideVal, otherVal *hlo.Instruction) *hlo.Instruction {
+	side := p.Side
+	if p.Kind == EinsumReduceScatter {
+		side = p.SliceSide
+	}
+	if side == 0 {
+		return into.Einsum(p.Einsum.EinsumSpec, sideVal, otherVal)
+	}
+	return into.Einsum(p.Einsum.EinsumSpec, otherVal, sideVal)
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+)
+
+// latency estimates how long an instruction occupies its device (or,
+// for a CollectivePermuteDone, how much time must elapse after the
+// matching start for the transfer to land). The schedulers use it to
+// decide how much computation to place inside each start/done window.
+func latency(in *hlo.Instruction, spec machine.Spec) float64 {
+	switch in.Op {
+	case hlo.OpCollectivePermuteStart:
+		return 0
+	case hlo.OpCollectivePermuteDone:
+		return spec.TransferTime(in.Operands[0].Operands[0].ByteSize(), 1)
+	case hlo.OpAllGather, hlo.OpReduceScatter, hlo.OpAllReduce, hlo.OpAllToAll, hlo.OpCollectivePermute:
+		return spec.CollectiveTime(in) + spec.InstructionCost(in)
+	default:
+		return spec.InstructionCost(in)
+	}
+}
+
+// ScheduleBottomUp reorders the computation with the reverse list
+// scheduler of Algorithm 2: instructions are scheduled from the graph
+// roots backwards, prioritizing CollectivePermuteDones (so they land
+// late in forward order) and holding each CollectivePermuteStart in a
+// pending queue until enough reverse time — the transfer latency — has
+// been covered by other work, which is what places computation between
+// the start and the done. The in-flight budget bounds simultaneously
+// outstanding transfers.
+func ScheduleBottomUp(c *hlo.Computation, spec machine.Spec) error {
+	instrs := c.Instructions()
+	origPos := make(map[*hlo.Instruction]int, len(instrs))
+	for i, in := range instrs {
+		origPos[in] = i
+	}
+
+	// usersLeft counts distinct users not yet scheduled.
+	usersLeft := make(map[*hlo.Instruction]int, len(instrs))
+	for _, in := range instrs {
+		usersLeft[in] = in.NumUsers()
+	}
+
+	readyTime := make(map[*hlo.Instruction]float64, len(instrs))
+	var newSeq []*hlo.Instruction
+	scheduled := make(map[*hlo.Instruction]bool, len(instrs))
+
+	// rank orders the ready queue: smaller is better.
+	rank := func(in *hlo.Instruction) int {
+		switch {
+		case in.Op == hlo.OpCollectivePermuteDone:
+			return 0
+		case in.Op == hlo.OpCollectivePermuteStart:
+			// Once its time gate has passed (the pending queue holds a
+			// start until enough reverse path — the transfer latency —
+			// is covered), a start goes promptly so it lands early in
+			// forward order, unlocking the upstream done.
+			return 1
+		case hasOperandOp(in, hlo.OpCollectivePermuteDone):
+			return 2
+		default:
+			return 3
+		}
+	}
+	less := func(a, b *hlo.Instruction) bool {
+		ra, rb := rank(a), rank(b)
+		if ra != rb {
+			return ra < rb
+		}
+		// Reverse original order preserves the memory-pressure-friendly
+		// input schedule among equals.
+		return origPos[a] > origPos[b]
+	}
+
+	var ready []*hlo.Instruction
+	pending := &pendingHeap{}
+	currentTime := 0.0
+	inFlight := 0
+
+	computeReady := func(in *hlo.Instruction) float64 {
+		t := 0.0
+		for _, u := range in.Users() {
+			if f := readyTime[u] + latency(u, spec); f > t {
+				t = f
+			}
+		}
+		return t
+	}
+	enqueue := func(in *hlo.Instruction) {
+		rt := computeReady(in)
+		if rt <= currentTime {
+			ready = append(ready, in)
+		} else {
+			heap.Push(pending, pendingItem{in, rt})
+		}
+	}
+	for _, in := range instrs {
+		if in.NumUsers() == 0 {
+			enqueue(in)
+		}
+	}
+
+	schedule := func(in *hlo.Instruction) {
+		scheduled[in] = true
+		newSeq = append(newSeq, in)
+		rt := computeReady(in)
+		readyTime[in] = rt
+		// Algorithm 2: current_time follows the candidate's critical
+		// path, so the pending gate measures covered path length, not
+		// the serial sum of all scheduled latencies. A done advances
+		// the clock by zero — it occupies no device time; its transfer
+		// latency gates only the matching start (via computeReady).
+		advance := latency(in, spec)
+		if in.Op == hlo.OpCollectivePermuteDone {
+			advance = 0
+		}
+		currentTime = rt + advance
+		switch in.Op {
+		case hlo.OpCollectivePermuteDone:
+			inFlight++
+		case hlo.OpCollectivePermuteStart:
+			inFlight--
+		}
+		seen := map[*hlo.Instruction]bool{}
+		for _, op := range in.Operands {
+			if seen[op] {
+				continue
+			}
+			seen[op] = true
+			usersLeft[op]--
+			if usersLeft[op] == 0 {
+				enqueue(op)
+			}
+		}
+	}
+
+	for len(newSeq) < len(instrs) {
+		// Promote pending entries whose time has come.
+		for pending.Len() > 0 && (*pending)[0].readyAt <= currentTime {
+			ready = append(ready, heap.Pop(pending).(pendingItem).in)
+		}
+		var cand *hlo.Instruction
+		if len(ready) > 0 {
+			sort.SliceStable(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+			idx := 0
+			// Budget: avoid opening another async window when the flag
+			// pool is exhausted, unless nothing else is ready.
+			if ready[idx].Op == hlo.OpCollectivePermuteDone && inFlight >= spec.MaxInFlight {
+				for k := range ready {
+					if ready[k].Op != hlo.OpCollectivePermuteDone {
+						idx = k
+						break
+					}
+				}
+			}
+			cand = ready[idx]
+			ready = append(ready[:idx], ready[idx+1:]...)
+		} else if pending.Len() > 0 {
+			it := heap.Pop(pending).(pendingItem)
+			currentTime = it.readyAt
+			cand = it.in
+		} else {
+			break
+		}
+		schedule(cand)
+	}
+
+	// Reverse into forward order.
+	for i, j := 0, len(newSeq)-1; i < j; i, j = i+1, j-1 {
+		newSeq[i], newSeq[j] = newSeq[j], newSeq[i]
+	}
+	return c.SetSchedule(newSeq)
+}
+
+type pendingItem struct {
+	in      *hlo.Instruction
+	readyAt float64
+}
+
+type pendingHeap []pendingItem
+
+func (h pendingHeap) Len() int            { return len(h) }
+func (h pendingHeap) Less(i, j int) bool  { return h[i].readyAt < h[j].readyAt }
+func (h pendingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pendingHeap) Push(x interface{}) { *h = append(*h, x.(pendingItem)) }
+func (h *pendingHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+func hasOperandOp(in *hlo.Instruction, op hlo.OpCode) bool {
+	for _, o := range in.Operands {
+		if o.Op == op {
+			return true
+		}
+	}
+	return false
+}
+
+// ScheduleTopDown reorders the computation with the simpler forward
+// heuristic of §5.2: a CollectivePermuteStart is scheduled as early as
+// possible once its operands are placed, a CollectivePermuteDone as
+// late as possible (only when no other instruction is ready), and
+// everything else keeps its input order. The in-flight budget defers
+// starts rather than dones.
+func ScheduleTopDown(c *hlo.Computation, spec machine.Spec) error {
+	instrs := c.Instructions()
+	origPos := make(map[*hlo.Instruction]int, len(instrs))
+	for i, in := range instrs {
+		origPos[in] = i
+	}
+	opsLeft := make(map[*hlo.Instruction]int, len(instrs))
+	for _, in := range instrs {
+		seen := map[*hlo.Instruction]bool{}
+		for _, op := range in.Operands {
+			if !seen[op] {
+				seen[op] = true
+				opsLeft[in]++
+			}
+		}
+	}
+
+	var ready []*hlo.Instruction
+	for _, in := range instrs {
+		if opsLeft[in] == 0 {
+			ready = append(ready, in)
+		}
+	}
+	var newSeq []*hlo.Instruction
+	inFlight := 0
+	now := 0.0
+	arrival := map[*hlo.Instruction]float64{} // start → estimated landing time
+
+	// Rank: starts go as early as possible; dones whose transfer has
+	// (by estimate) already landed are free to place; compute fills the
+	// windows; dones still in flight go only when nothing else can (the
+	// §5.2 "as late as possible" rule, refined with the runtime-cost
+	// rebalancing estimate).
+	rank := func(in *hlo.Instruction) int {
+		switch in.Op {
+		case hlo.OpCollectivePermuteStart:
+			if inFlight >= spec.MaxInFlight {
+				return 3 // flag pool exhausted: hold the start back
+			}
+			return 0
+		case hlo.OpCollectivePermuteDone:
+			if arrival[in.Operands[0]] <= now {
+				return 1 // transfer already landed: placing it is free
+			}
+			return 4
+		default:
+			return 2
+		}
+	}
+
+	for len(newSeq) < len(instrs) {
+		if len(ready) == 0 {
+			break
+		}
+		best := 0
+		for k := 1; k < len(ready); k++ {
+			rb, rk := rank(ready[best]), rank(ready[k])
+			if rk < rb || (rk == rb && origPos[ready[k]] < origPos[ready[best]]) {
+				best = k
+			}
+		}
+		cand := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		newSeq = append(newSeq, cand)
+		switch cand.Op {
+		case hlo.OpCollectivePermuteStart:
+			inFlight++
+			arrival[cand] = now + latency(&hlo.Instruction{
+				Op:       hlo.OpCollectivePermuteDone,
+				Operands: []*hlo.Instruction{cand},
+			}, spec)
+		case hlo.OpCollectivePermuteDone:
+			inFlight--
+			if a := arrival[cand.Operands[0]]; a > now {
+				now = a // stalled until the transfer landed
+			}
+		default:
+			now += latency(cand, spec)
+		}
+		for _, u := range cand.Users() {
+			opsLeft[u]--
+			if opsLeft[u] == 0 {
+				ready = append(ready, u)
+			}
+		}
+	}
+	return c.SetSchedule(newSeq)
+}

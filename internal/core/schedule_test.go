@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/sim"
+)
+
+// bigSite returns an AllGather-Einsum site whose computation dominates
+// the per-step transfers, so a good schedule hides them — the regime
+// the cost model enables the feature in.
+func bigSite(n int) *hlo.Computation {
+	c := hlo.NewComputation("big")
+	a := c.Parameter(0, "a", []int{512, 2048})
+	b := c.Parameter(1, "b", []int{2048, 8192})
+	full := c.AllGather(a, 0, ringGroups(n))
+	c.Einsum("mk,kn->mn", full, b)
+	return c
+}
+
+func simulateWith(t *testing.T, c *hlo.Computation, n int, spec machine.Spec) sim.Breakdown {
+	t.Helper()
+	res, err := sim.Simulate(c, n, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSchedulingHidesCommunication is the end-to-end performance claim
+// on one site: decompose + schedule beats the blocking baseline, and
+// the scheduled version hides most of the ring transfer time.
+func TestSchedulingHidesCommunication(t *testing.T) {
+	const n = 8
+	spec := machine.TPUv4()
+	baseline := simulateWith(t, bigSite(n), n, spec)
+
+	for _, sched := range []SchedulerKind{SchedulerBottomUp, SchedulerTopDown} {
+		c := bigSite(n)
+		opts := forceOpts(true, true, sched, true)
+		if _, err := Apply(c, opts); err != nil {
+			t.Fatal(err)
+		}
+		res := simulateWith(t, c, n, spec)
+		if res.StepTime >= baseline.StepTime {
+			t.Fatalf("%v: overlapped %.3gs not faster than baseline %.3gs", sched, res.StepTime, baseline.StepTime)
+		}
+		// The only exposure left should be the pipeline fill: the
+		// prologue and first-iteration transfers, which have no prior
+		// compute to hide behind in an isolated single-site program.
+		if res.Exposed > 0.65*baseline.Exposed {
+			t.Fatalf("%v: exposed comm %.3g not substantially below baseline %.3g", sched, res.Exposed, baseline.Exposed)
+		}
+	}
+}
+
+// TestSchedulerNoneKeepsBlockingPairs: without scheduling the program is
+// decomposed but start/done pairs stay effectively adjacent, so the
+// exposed communication remains near the full ring time.
+func TestSchedulerNoneVsBottomUp(t *testing.T) {
+	const n = 8
+	spec := machine.TPUv4()
+	mk := func(s SchedulerKind) sim.Breakdown {
+		c := bigSite(n)
+		if _, err := Apply(c, forceOpts(true, true, s, true)); err != nil {
+			t.Fatal(err)
+		}
+		return simulateWith(t, c, n, spec)
+	}
+	none := mk(SchedulerNone)
+	bu := mk(SchedulerBottomUp)
+	if bu.StepTime >= none.StepTime {
+		t.Fatalf("bottom-up %.3g not faster than unscheduled %.3g", bu.StepTime, none.StepTime)
+	}
+}
+
+// TestScheduleRespectsInFlightBudget walks both schedulers' output and
+// checks the number of outstanding start/done windows never exceeds the
+// machine budget.
+func TestScheduleRespectsInFlightBudget(t *testing.T) {
+	const n = 8
+	spec := machine.TPUv4()
+	spec.MaxInFlight = 2
+	for _, sched := range []SchedulerKind{SchedulerBottomUp, SchedulerTopDown} {
+		c := bigSite(n)
+		opts := forceOpts(true, true, sched, true)
+		opts.Spec = spec
+		if _, err := Apply(c, opts); err != nil {
+			t.Fatal(err)
+		}
+		inFlight, peak := 0, 0
+		for _, in := range c.Instructions() {
+			switch in.Op {
+			case hlo.OpCollectivePermuteStart:
+				inFlight++
+			case hlo.OpCollectivePermuteDone:
+				inFlight--
+			}
+			if inFlight > peak {
+				peak = inFlight
+			}
+		}
+		if peak > spec.MaxInFlight {
+			t.Fatalf("%v: schedule peaks at %d in-flight transfers, budget %d", sched, peak, spec.MaxInFlight)
+		}
+	}
+}
+
+// TestSchedulesAreValidTopologicalOrders re-verifies the computation
+// after each scheduler (SetSchedule would reject invalid orders; this
+// guards the whole pipeline).
+func TestSchedulesAreValidTopologicalOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, kind := range []siteKind{siteAGNonContracting, siteRS, siteAGBatch} {
+		for _, sched := range []SchedulerKind{SchedulerBottomUp, SchedulerTopDown} {
+			tc := makeSite(kind, ringGroups(6), 6, rng)
+			c := tc.build()
+			if _, err := Apply(c, forceOpts(true, true, sched, true)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Verify(); err != nil {
+				t.Fatalf("%s/%v: %v", siteKindNames[kind], sched, err)
+			}
+		}
+	}
+}
+
+// TestStartsBeforeDones: in both schedules every start precedes its done
+// with at least one instruction between them when compute is available.
+func TestStartEarlyDoneLateShape(t *testing.T) {
+	const n = 8
+	for _, sched := range []SchedulerKind{SchedulerBottomUp, SchedulerTopDown} {
+		c := bigSite(n)
+		if _, err := Apply(c, forceOpts(true, true, sched, true)); err != nil {
+			t.Fatal(err)
+		}
+		pos := map[*hlo.Instruction]int{}
+		for i, in := range c.Instructions() {
+			pos[in] = i
+		}
+		separated := 0
+		total := 0
+		for _, in := range c.Instructions() {
+			if in.Op != hlo.OpCollectivePermuteDone {
+				continue
+			}
+			total++
+			if pos[in]-pos[in.Operands[0]] > 1 {
+				separated++
+			}
+		}
+		if total == 0 {
+			t.Fatalf("%v: no async pairs emitted", sched)
+		}
+		if separated == 0 {
+			t.Fatalf("%v: no start/done pair has work scheduled between (total %d)", sched, total)
+		}
+	}
+}
+
+// TestLatencyEstimates sanity-checks the scheduler's latency table.
+func TestLatencyEstimates(t *testing.T) {
+	spec := machine.TPUv4()
+	c := hlo.NewComputation("lat")
+	a := c.Parameter(0, "a", []int{1024, 1024})
+	start := c.CollectivePermuteStart(a, []hlo.SourceTargetPair{{Source: 0, Target: 1}, {Source: 1, Target: 0}})
+	done := c.CollectivePermuteDone(start)
+	_ = done
+	if latency(start, spec) != 0 {
+		t.Fatal("start latency must be zero")
+	}
+	want := spec.TransferTime(a.ByteSize(), 1)
+	if got := latency(done, spec); got != want {
+		t.Fatalf("done latency = %v, want %v", got, want)
+	}
+	ein := c.Einsum("mk,kn->mn", a, a)
+	if latency(ein, spec) != spec.InstructionCost(ein) {
+		t.Fatal("einsum latency must match instruction cost")
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+func TestCSEDeduplicatesIdenticalOps(t *testing.T) {
+	c := hlo.NewComputation("cse")
+	a := c.Parameter(0, "a", []int{4, 4})
+	e1 := c.Einsum("mk,kn->mn", a, a)
+	e2 := c.Einsum("mk,kn->mn", a, a) // identical
+	e3 := c.Einsum("mk,kn->nm", a, a) // different spec
+	c.Tuple(c.Add(e1, e2), e3)
+	removed := CSE(c)
+	if removed != 1 {
+		t.Fatalf("removed %d, want 1", removed)
+	}
+	einsums := 0
+	for _, in := range c.Instructions() {
+		if in.Op == hlo.OpEinsum {
+			einsums++
+		}
+	}
+	if einsums != 2 {
+		t.Fatalf("%d einsums survive, want 2", einsums)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSEDeduplicatesGathers(t *testing.T) {
+	c := hlo.NewComputation("cse_ag")
+	a := c.Parameter(0, "a", []int{4, 4})
+	g1 := c.AllGather(a, 0, ringGroups(2))
+	g2 := c.AllGather(a, 0, ringGroups(2))
+	g3 := c.AllGather(a, 1, ringGroups(2)) // different axis
+	c.Tuple(c.Add(g1, g2), g3)
+	if removed := CSE(c); removed != 1 {
+		t.Fatalf("removed %d, want 1", removed)
+	}
+}
+
+func TestCSEKeepsDistinctConstants(t *testing.T) {
+	c := hlo.NewComputation("cse_const")
+	k1 := c.Constant("k1", tensor.FromValues([]int{2}, []float64{1, 2}))
+	k2 := c.Constant("k2", tensor.FromValues([]int{2}, []float64{1, 3}))
+	c.Tuple(k1, k2)
+	if removed := CSE(c); removed != 0 {
+		t.Fatalf("removed %d distinct constants", removed)
+	}
+}
+
+func TestSimplifyRules(t *testing.T) {
+	c := hlo.NewComputation("simp")
+	a := c.Parameter(0, "a", []int{2, 3})
+	z := c.Zeros("z", []int{2, 3})
+	addZero := c.Add(a, z)                                   // → a
+	doubleT := c.Transpose(c.Transpose(addZero, 1, 0), 1, 0) // → a-ish
+	sameReshape := c.Reshape(doubleT, 2, 3)                  // → identity
+	fullSlice := c.Slice(sameReshape, []int{0, 0}, []int{2, 3})
+	noPad := c.Pad(fullSlice, []int{0, 0}, []int{0, 0}, 0)
+	oneCat := c.Concat(0, noPad)
+	c.Tuple(oneCat)
+	n := Simplify(c)
+	if n == 0 {
+		t.Fatal("no rewrites applied")
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything should have collapsed to {parameter, tuple} (+ maybe a
+	// dead zero removed).
+	for _, in := range c.Instructions() {
+		switch in.Op {
+		case hlo.OpParameter, hlo.OpTuple:
+		default:
+			t.Fatalf("instruction %s survived simplification", in)
+		}
+	}
+}
+
+func TestSimplifyCopyChains(t *testing.T) {
+	c := hlo.NewComputation("copies")
+	a := c.Parameter(0, "a", []int{4})
+	cur := c.Copy(a)
+	for i := 0; i < 4; i++ {
+		cur = c.Copy(cur)
+	}
+	c.Tuple(cur)
+	Simplify(c)
+	copies := 0
+	for _, in := range c.Instructions() {
+		if in.Op == hlo.OpCopy {
+			copies++
+		}
+	}
+	if copies != 1 {
+		t.Fatalf("%d copies survive, want 1", copies)
+	}
+}
+
+func TestSimplifyIsIdempotent(t *testing.T) {
+	c := hlo.NewComputation("idem")
+	a := c.Parameter(0, "a", []int{2, 2})
+	c.Tuple(c.Add(c.Copy(c.Copy(a)), c.Zeros("z", []int{2, 2})))
+	Simplify(c)
+	if n := Simplify(c); n != 0 {
+		t.Fatalf("second pass applied %d rewrites", n)
+	}
+}
+
+// Simplify and CSE must preserve semantics on arbitrary programs.
+func TestSimplifyCSEFuzzEquivalence(t *testing.T) {
+	for seed := int64(200); seed < 230; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		c, args := randomProgram(rng, n)
+		refAll, err := sim.InterpretAll(c, n, args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := c.Root()
+		refs := make([][]*tensor.Tensor, len(root.Operands))
+		for i, op := range root.Operands {
+			refs[i] = refAll[op]
+		}
+		Simplify(c)
+		CSE(c)
+		if err := c.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		gotAll, err := sim.InterpretAll(c, n, args)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		newRoot := c.Root()
+		for i, op := range newRoot.Operands {
+			for d := 0; d < n; d++ {
+				if !gotAll[op][d].AllClose(refs[i][d], 1e-12) {
+					t.Fatalf("seed %d output %d device %d diverged", seed, i, d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package hlo
+
+import (
+	"strings"
+	"testing"
+
+	"overlap/internal/tensor"
+)
+
+func ringGroups(n int) [][]int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return [][]int{g}
+}
+
+// buildMLPLayer constructs the Fig-2-style AllGather → Einsum pattern:
+// activation shard [B/N, F], weight shard [F/N, H], gathered to [F, H].
+func buildMLPLayer(t *testing.T) (*Computation, *Instruction, *Instruction) {
+	t.Helper()
+	c := NewComputation("layer")
+	act := c.Parameter(0, "act", []int{4, 8})
+	w := c.Parameter(1, "w", []int{2, 16})
+	gathered := c.AllGather(w, 0, ringGroups(4))
+	out := c.Einsum("bf,fh->bh", act, gathered)
+	return c, gathered, out
+}
+
+func TestBuilderShapeInference(t *testing.T) {
+	c, gathered, out := buildMLPLayer(t)
+	if gathered.Shape[0] != 8 || gathered.Shape[1] != 16 {
+		t.Fatalf("all-gather shape = %v, want [8 16]", gathered.Shape)
+	}
+	if out.Shape[0] != 4 || out.Shape[1] != 16 {
+		t.Fatalf("einsum shape = %v, want [4 16]", out.Shape)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderPanicsOnBadEinsum(t *testing.T) {
+	c := NewComputation("bad")
+	a := c.Parameter(0, "a", []int{2, 3})
+	b := c.Parameter(1, "b", []int{4, 5}) // contraction size mismatch
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched einsum did not panic")
+		}
+	}()
+	c.Einsum("ik,kj->ij", a, b)
+}
+
+func TestUsersTracking(t *testing.T) {
+	c := NewComputation("users")
+	a := c.Parameter(0, "a", []int{2, 2})
+	b := c.Parameter(1, "b", []int{2, 2})
+	sum := c.Add(a, b)
+	twice := c.Add(sum, sum) // same operand used twice
+	if a.NumUsers() != 1 || !a.HasUser(sum) {
+		t.Fatalf("a users = %v", a.Users())
+	}
+	if sum.NumUsers() != 1 {
+		t.Fatalf("sum should have exactly one distinct user, got %d", sum.NumUsers())
+	}
+	// Replace sum with a fresh value in twice; both slots must move.
+	repl := c.Copy(a)
+	twice.ReplaceOperand(sum, repl)
+	if sum.NumUsers() != 0 {
+		t.Fatalf("sum still has users after replacement: %v", sum.Users())
+	}
+	if repl.NumUsers() != 1 || !repl.HasUser(twice) {
+		t.Fatal("replacement user edge missing")
+	}
+}
+
+func TestReplaceAllUsesWithAndDCE(t *testing.T) {
+	c := NewComputation("dce")
+	a := c.Parameter(0, "a", []int{2, 2})
+	olds := c.Add(a, a)
+	dead := c.Copy(olds)
+	_ = dead
+	news := c.Copy(a)
+	root := c.Add(news, news)
+	c.ReplaceAllUsesWith(olds, news)
+	_ = root
+	removed := c.RemoveDeadCode()
+	if removed == 0 {
+		t.Fatal("expected dead instructions to be removed")
+	}
+	for _, in := range c.Instructions() {
+		if in == olds || in == dead {
+			t.Fatalf("dead instruction %s survived DCE", in.Name)
+		}
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetScheduleValidation(t *testing.T) {
+	c := NewComputation("sched")
+	a := c.Parameter(0, "a", []int{2})
+	b := c.Copy(a)
+	d := c.Copy(b)
+	// A reversed schedule must be rejected.
+	if err := c.SetSchedule([]*Instruction{d, b, a}); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+	// Equivalent valid schedule accepted.
+	if err := c.SetSchedule([]*Instruction{a, b, d}); err != nil {
+		t.Fatal(err)
+	}
+	// Missing instruction rejected.
+	if err := c.SetSchedule([]*Instruction{a, b}); err == nil {
+		t.Fatal("short schedule accepted")
+	}
+	// Duplicate instruction rejected.
+	if err := c.SetSchedule([]*Instruction{a, b, b}); err == nil {
+		t.Fatal("duplicate schedule accepted")
+	}
+}
+
+func TestScheduleStableTopological(t *testing.T) {
+	c := NewComputation("topo")
+	a := c.Parameter(0, "a", []int{2})
+	b := c.Copy(a)
+	d := c.Copy(b)
+	// Force an out-of-order list, then restore.
+	c.instrs = []*Instruction{d, a, b}
+	c.ScheduleStableTopological()
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Instructions()
+	if got[0] != a || got[1] != b || got[2] != d {
+		t.Fatalf("stable topo order = %v", got)
+	}
+}
+
+func TestStableTopoPreservesIndependentOrder(t *testing.T) {
+	c := NewComputation("stable")
+	a := c.Parameter(0, "a", []int{2})
+	x := c.Copy(a)
+	y := c.Copy(a)
+	z := c.Copy(a)
+	c.ScheduleStableTopological()
+	got := c.Instructions()
+	if got[1] != x || got[2] != y || got[3] != z {
+		t.Fatal("independent instructions reordered by stable topo sort")
+	}
+}
+
+func TestVerifyCatchesBadUserEdge(t *testing.T) {
+	c := NewComputation("broken")
+	a := c.Parameter(0, "a", []int{2})
+	b := c.Copy(a)
+	// Corrupt the user map directly.
+	a.removeUser(b)
+	if err := c.Verify(); err == nil {
+		t.Fatal("verifier missed a corrupted user edge")
+	}
+}
+
+func TestVerifyCollectiveGroups(t *testing.T) {
+	c := NewComputation("groups")
+	a := c.Parameter(0, "a", []int{2, 4})
+	bad := &Instruction{
+		Op: OpAllGather, Operands: []*Instruction{a},
+		CollectiveAxis: 0, Groups: [][]int{{0, 1}, {1, 2}}, // device 1 twice
+		Shape: []int{4, 4},
+	}
+	c.add(bad)
+	if err := c.Verify(); err == nil || !strings.Contains(err.Error(), "two groups") {
+		t.Fatalf("verifier missed overlapping groups: %v", err)
+	}
+}
+
+func TestDynOffsetEval(t *testing.T) {
+	// ((pid + 1) mod 4) * 8
+	o := DynOffset{PIDFactor: 1, Add: 1, Mod: 4, Scale: 8}
+	wants := []int{8, 16, 24, 0}
+	for pid, want := range wants {
+		if got := o.Eval(pid); got != want {
+			t.Fatalf("Eval(%d) = %d, want %d", pid, got, want)
+		}
+	}
+	if got := Static(5).Eval(3); got != 5 {
+		t.Fatalf("Static(5).Eval = %d", got)
+	}
+	// Negative intermediate values must wrap into [0, Mod).
+	neg := DynOffset{PIDFactor: -1, Add: 0, Mod: 4, Scale: 1}
+	if got := neg.Eval(1); got != 3 {
+		t.Fatalf("negative wrap Eval = %d, want 3", got)
+	}
+}
+
+func TestCollectivePermutePairHelpers(t *testing.T) {
+	in := &Instruction{Op: OpCollectivePermute, Pairs: []SourceTargetPair{{1, 0}, {2, 1}, {0, 2}}}
+	if s, ok := in.PairSource(1); !ok || s != 2 {
+		t.Fatalf("PairSource(1) = %d,%v", s, ok)
+	}
+	if tgt, ok := in.PairTarget(0); !ok || tgt != 2 {
+		t.Fatalf("PairTarget(0) = %d,%v", tgt, ok)
+	}
+	if _, ok := in.PairSource(9); ok {
+		t.Fatal("PairSource for absent device must report false")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	c, _, _ := buildMLPLayer(t)
+	clone := c.Clone()
+	if err := clone.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if clone.NumInstructions() != c.NumInstructions() {
+		t.Fatal("clone instruction count differs")
+	}
+	// Mutating the clone must not affect the original.
+	cloneRoot := clone.Root()
+	clone.ReplaceAllUsesWith(cloneRoot, clone.Instructions()[0])
+	if err := c.Verify(); err != nil {
+		t.Fatalf("original corrupted by clone mutation: %v", err)
+	}
+	for i, in := range c.Instructions() {
+		if clone.Instructions()[i] == in {
+			t.Fatal("clone shares instruction objects with original")
+		}
+	}
+}
+
+func TestFusionShapeInference(t *testing.T) {
+	body := NewComputation("fused_add")
+	p0 := body.Parameter(0, "p0", []int{2, 2})
+	p1 := body.Parameter(1, "p1", []int{2, 2})
+	body.Add(p0, p1)
+
+	c := NewComputation("main")
+	a := c.Parameter(0, "a", []int{2, 2})
+	b := c.Parameter(1, "b", []int{2, 2})
+	f := c.Fusion("fadd", body, a, b)
+	if f.Shape[0] != 2 || f.Shape[1] != 2 {
+		t.Fatalf("fusion shape = %v", f.Shape)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatContainsScheduleOrder(t *testing.T) {
+	c, _, _ := buildMLPLayer(t)
+	text := c.Format()
+	ag := strings.Index(text, "all-gather")
+	ein := strings.Index(text, "einsum")
+	if ag < 0 || ein < 0 || ag > ein {
+		t.Fatalf("Format order wrong:\n%s", text)
+	}
+	if !strings.Contains(text, `spec="bf,fh->bh"`) {
+		t.Fatalf("Format missing einsum spec:\n%s", text)
+	}
+}
+
+func TestConstantAndZeros(t *testing.T) {
+	c := NewComputation("const")
+	z := c.Zeros("z", []int{2, 3})
+	if z.Op != OpZero || z.NumElements() != 6 {
+		t.Fatalf("Zeros = %s with %d elements", z.Op, z.NumElements())
+	}
+	if z.Literal != nil {
+		t.Fatal("Zeros must not materialize a literal")
+	}
+	lit := c.Constant("k", tensor.Iota(2, 2))
+	if lit.Shape[0] != 2 || lit.Shape[1] != 2 {
+		t.Fatalf("constant shape = %v", lit.Shape)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteSizeAndNumElements(t *testing.T) {
+	c := NewComputation("bytes")
+	a := c.Parameter(0, "a", []int{8, 128})
+	if a.NumElements() != 1024 {
+		t.Fatalf("NumElements = %d", a.NumElements())
+	}
+	if a.ByteSize() != 4096 {
+		t.Fatalf("ByteSize = %d", a.ByteSize())
+	}
+}
+
+func TestCollectivePermuteDoneRequiresStart(t *testing.T) {
+	c := NewComputation("async")
+	a := c.Parameter(0, "a", []int{4})
+	start := c.CollectivePermuteStart(a, []SourceTargetPair{{0, 1}, {1, 0}})
+	done := c.CollectivePermuteDone(start)
+	if len(done.Pairs) != 2 {
+		t.Fatal("done must inherit the start's pairs")
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// A done whose operand is not a start must fail verification.
+	bad := NewComputation("bad")
+	p := bad.Parameter(0, "p", []int{4})
+	bad.add(&Instruction{Op: OpCollectivePermuteDone, Operands: []*Instruction{p}, Shape: []int{4}})
+	if err := bad.Verify(); err == nil {
+		t.Fatal("done without start passed verification")
+	}
+}

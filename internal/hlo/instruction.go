@@ -1,0 +1,239 @@
+package hlo
+
+import (
+	"fmt"
+
+	"overlap/internal/tensor"
+)
+
+// DynOffset is a symbolic, partition- and iteration-dependent offset
+// used by DynamicSlice and DynamicUpdateSlice. Its value on device pid
+// at loop iteration iter is
+//
+//	((PIDFactor*(pid/Div) + IterFactor*iter + Add) mod Mod) * Scale
+//
+// with the division skipped when Div <= 1 and the modulo skipped when
+// Mod == 0. The (pid/Div) mod Mod form extracts a device's coordinate
+// along one axis of a row-major logical mesh, which is exactly the
+// arithmetic the decomposition needs; IterFactor references the
+// induction variable of an enclosing Loop (zero outside loops). Real
+// XLA computes these offsets from PartitionId / induction-variable
+// scalar ops; a closed-form expression keeps the IR small while
+// preserving per-device behaviour.
+type DynOffset struct {
+	PIDFactor  int
+	Div        int
+	IterFactor int
+	Add        int
+	Mod        int
+	Scale      int
+}
+
+// Eval returns the offset value for the given partition id outside any
+// loop (iteration 0).
+func (o DynOffset) Eval(pid int) int { return o.EvalIter(pid, 0) }
+
+// EvalIter returns the offset value for the given partition id and loop
+// iteration.
+func (o DynOffset) EvalIter(pid, iter int) int {
+	p := pid
+	if o.Div > 1 {
+		p /= o.Div
+	}
+	v := o.PIDFactor*p + o.IterFactor*iter + o.Add
+	if o.Mod != 0 {
+		v %= o.Mod
+		if v < 0 {
+			v += o.Mod
+		}
+	}
+	return v * o.Scale
+}
+
+// Static returns an offset that evaluates to the constant v on every
+// device.
+func Static(v int) DynOffset { return DynOffset{Add: v, Scale: 1} }
+
+func (o DynOffset) String() string {
+	if o.PIDFactor == 0 && o.IterFactor == 0 && o.Mod == 0 {
+		return fmt.Sprintf("%d", o.Add*o.Scale)
+	}
+	div := o.Div
+	if div < 1 {
+		div = 1
+	}
+	if o.IterFactor != 0 {
+		return fmt.Sprintf("((%d*(pid/%d)+%d*i+%d)%%%d)*%d", o.PIDFactor, div, o.IterFactor, o.Add, o.Mod, o.Scale)
+	}
+	return fmt.Sprintf("((%d*(pid/%d)+%d)%%%d)*%d", o.PIDFactor, div, o.Add, o.Mod, o.Scale)
+}
+
+// SourceTargetPair names one point-to-point edge of a CollectivePermute.
+type SourceTargetPair struct {
+	Source int
+	Target int
+}
+
+// Instruction is one node of the dataflow graph. Exported attribute
+// fields are only meaningful for the opcodes that use them; the verifier
+// enforces consistency.
+type Instruction struct {
+	ID       int
+	Name     string
+	Op       OpCode
+	Shape    []int
+	Operands []*Instruction
+
+	// Group tags instructions that belong to one fusion scope (e.g. one
+	// iteration of a Looped CollectiveEinsum). The fusion pass only
+	// grows a region within the anchor's group; 0 means untagged.
+	Group int
+
+	users map[*Instruction]int // user -> number of operand slots referencing this
+
+	// Parameter.
+	ParamIndex int
+
+	// Constant.
+	Literal *tensor.Tensor
+
+	// Einsum.
+	EinsumSpec string
+
+	// Concat.
+	Axis int
+
+	// Pad.
+	PadLow, PadHigh []int
+	PadValue        float64
+
+	// Slice.
+	Starts, Limits []int
+
+	// DynamicSlice / DynamicUpdateSlice.
+	Offsets    []DynOffset
+	SliceSizes []int
+
+	// Transpose.
+	Perm []int
+
+	// Collectives: device groups participating (each group runs an
+	// independent instance of the collective — a subgroup collective
+	// along one mesh axis has one group per line of the mesh).
+	Groups [][]int
+	// AllGather concat dimension / ReduceScatter scatter dimension /
+	// AllToAll split+concat dimension.
+	CollectiveAxis int
+
+	// CollectivePermute (and Start/Done).
+	Pairs []SourceTargetPair
+
+	// Fusion: the fused subgraph. Its parameters correspond 1:1 with the
+	// fusion instruction's operands; the last instruction in the body is
+	// the fusion result.
+	// Loop: the loop body; parameters receive the carried buffers, the
+	// root Tuple provides the next iteration's values.
+	Body *Computation
+
+	// Loop: iteration count and which carried buffer the loop yields.
+	TripCount   int
+	ResultIndex int
+}
+
+// Users returns the instructions that use this one as an operand, in an
+// unspecified order.
+func (in *Instruction) Users() []*Instruction {
+	out := make([]*Instruction, 0, len(in.users))
+	for u := range in.users {
+		out = append(out, u)
+	}
+	return out
+}
+
+// NumUsers returns the number of distinct user instructions.
+func (in *Instruction) NumUsers() int { return len(in.users) }
+
+// HasUser reports whether u uses in as an operand.
+func (in *Instruction) HasUser(u *Instruction) bool {
+	_, ok := in.users[u]
+	return ok
+}
+
+// ReplaceOperand swaps every occurrence of old in the operand list for
+// new, updating user tracking on both sides.
+func (in *Instruction) ReplaceOperand(old, new *Instruction) {
+	for i, op := range in.Operands {
+		if op == old {
+			in.Operands[i] = new
+			old.removeUser(in)
+			new.addUser(in)
+		}
+	}
+}
+
+func (in *Instruction) addUser(u *Instruction) {
+	if in.users == nil {
+		in.users = make(map[*Instruction]int)
+	}
+	in.users[u]++
+}
+
+func (in *Instruction) removeUser(u *Instruction) {
+	if n := in.users[u]; n > 1 {
+		in.users[u] = n - 1
+	} else {
+		delete(in.users, u)
+	}
+}
+
+// NumElements returns the element count of the instruction's result.
+func (in *Instruction) NumElements() int {
+	n := 1
+	for _, d := range in.Shape {
+		n *= d
+	}
+	return n
+}
+
+// ByteSize returns the result size in bytes assuming 4-byte elements
+// (the bf16-pair / f32 granularity the machine model uses).
+func (in *Instruction) ByteSize() int64 { return int64(in.NumElements()) * 4 }
+
+// GroupFor returns the collective group containing device pid, or nil if
+// the device does not participate.
+func (in *Instruction) GroupFor(pid int) []int {
+	for _, g := range in.Groups {
+		for _, d := range g {
+			if d == pid {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
+// PairSource returns the source device sending to target under the
+// instruction's permute pairs, and whether one exists.
+func (in *Instruction) PairSource(target int) (int, bool) {
+	for _, p := range in.Pairs {
+		if p.Target == target {
+			return p.Source, true
+		}
+	}
+	return 0, false
+}
+
+// PairTarget returns the target device that source sends to, and whether
+// one exists.
+func (in *Instruction) PairTarget(source int) (int, bool) {
+	for _, p := range in.Pairs {
+		if p.Source == source {
+			return p.Target, true
+		}
+	}
+	return 0, false
+}
+
+func (in *Instruction) String() string {
+	return fmt.Sprintf("%%%s = %s%v", in.Name, in.Op, in.Shape)
+}

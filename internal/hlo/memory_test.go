@@ -1,0 +1,120 @@
+package hlo
+
+import "testing"
+
+func TestPeakMemorySimpleChain(t *testing.T) {
+	c := NewComputation("chain")
+	a := c.Parameter(0, "a", []int{256}) // 1 KiB
+	b := c.Copy(a)                       // +1 KiB
+	d := c.Copy(b)                       // b dies after this
+	c.Copy(d)
+	stats := PeakMemory(c)
+	// Peak: parameter + two intermediate copies live at once = 3 KiB.
+	if stats.PeakBytes != 3*1024 {
+		t.Fatalf("PeakBytes = %d, want %d", stats.PeakBytes, 3*1024)
+	}
+	if stats.ParameterBytes != 1024 {
+		t.Fatalf("ParameterBytes = %d", stats.ParameterBytes)
+	}
+}
+
+func TestPeakMemoryReshapeAndTupleAreFree(t *testing.T) {
+	c := NewComputation("free")
+	a := c.Parameter(0, "a", []int{256})
+	r := c.Reshape(a, 16, 16)
+	c.Tuple(r)
+	stats := PeakMemory(c)
+	if stats.PeakBytes != 1024 {
+		t.Fatalf("PeakBytes = %d, want 1024 (reshape/tuple must be free)", stats.PeakBytes)
+	}
+}
+
+func TestPeakMemoryInPlaceUpdate(t *testing.T) {
+	// An accumulation chain of DynamicUpdateSlices must not allocate a
+	// fresh buffer per step.
+	c := NewComputation("dus")
+	upd := c.Parameter(0, "u", []int{64}) // 256 B
+	base := c.Zeros("base", []int{256})   // 1 KiB
+	cur := base
+	for i := 0; i < 4; i++ {
+		cur = c.DynamicUpdateSlice(cur, upd, []DynOffset{Static(i * 64)})
+	}
+	stats := PeakMemory(c)
+	want := int64(256 + 1024) // parameter + single result buffer
+	if stats.PeakBytes != want {
+		t.Fatalf("PeakBytes = %d, want %d (in-place chain)", stats.PeakBytes, want)
+	}
+}
+
+func TestPeakMemorySharedBaseAllocates(t *testing.T) {
+	// If the base is used again later, the update cannot be in place.
+	c := NewComputation("dus2")
+	upd := c.Parameter(0, "u", []int{64})
+	base := c.Zeros("base", []int{256})
+	dus := c.DynamicUpdateSlice(base, upd, []DynOffset{Static(0)})
+	c.Tuple(dus, base) // base survives the update
+	stats := PeakMemory(c)
+	want := int64(256 + 1024 + 1024)
+	if stats.PeakBytes != want {
+		t.Fatalf("PeakBytes = %d, want %d (copy-on-write)", stats.PeakBytes, want)
+	}
+}
+
+func TestPeakMemoryAsyncPairAliases(t *testing.T) {
+	c := NewComputation("async")
+	a := c.Parameter(0, "a", []int{256})
+	pairs := []SourceTargetPair{{Source: 0, Target: 1}, {Source: 1, Target: 0}}
+	start := c.CollectivePermuteStart(a, pairs)
+	done := c.CollectivePermuteDone(start)
+	c.Copy(done)
+	stats := PeakMemory(c)
+	// Parameter + receive buffer + final copy.
+	want := int64(1024 + 1024 + 1024)
+	if stats.PeakBytes != want {
+		t.Fatalf("PeakBytes = %d, want %d", stats.PeakBytes, want)
+	}
+}
+
+func TestPeakMemoryLoopCountsBodyPeak(t *testing.T) {
+	body := NewComputation("body")
+	p := body.Parameter(0, "p", []int{256})
+	q := body.Copy(p)
+	body.Tuple(body.Copy(q))
+
+	c := NewComputation("outer")
+	x := c.Parameter(0, "x", []int{256})
+	c.Loop(body, 3, 0, x)
+	stats := PeakMemory(c)
+	if stats.PeakBytes <= 1024 {
+		t.Fatalf("PeakBytes = %d, loop body peak not accounted", stats.PeakBytes)
+	}
+}
+
+func TestPeakMemoryScheduleSensitivity(t *testing.T) {
+	// Two schedules of the same graph: computing consumers eagerly
+	// (depth-first) keeps fewer temporaries live than computing all
+	// producers first.
+	build := func(eager bool) *Computation {
+		c := NewComputation("sched")
+		a := c.Parameter(0, "a", []int{256})
+		if eager {
+			x := c.Copy(a)
+			x2 := c.Copy(x)
+			y := c.Copy(a)
+			y2 := c.Copy(y)
+			c.Tuple(x2, y2)
+		} else {
+			x := c.Copy(a)
+			y := c.Copy(a)
+			x2 := c.Copy(x)
+			y2 := c.Copy(y)
+			c.Tuple(x2, y2)
+		}
+		return c
+	}
+	eager := PeakMemory(build(true))
+	wide := PeakMemory(build(false))
+	if eager.PeakBytes > wide.PeakBytes {
+		t.Fatalf("eager schedule %d > wide schedule %d", eager.PeakBytes, wide.PeakBytes)
+	}
+}

@@ -1,0 +1,370 @@
+package hlo
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"overlap/internal/tensor"
+)
+
+// Parse reads the text produced by Computation.Format back into a
+// Computation, including fusion and loop bodies. Together with Format
+// it gives the IR a stable textual exchange form: dumps from hlodump
+// can be edited and re-loaded, and golden tests can assert on program
+// text.
+func Parse(text string) (*Computation, error) {
+	lines := strings.Split(text, "\n")
+	// Drop leading comment/blank lines (hlodump prefixes reports with
+	// // comments) and trailing blanks.
+	for len(lines) > 0 {
+		t := strings.TrimSpace(lines[0])
+		if t == "" || strings.HasPrefix(t, "//") {
+			lines = lines[1:]
+			continue
+		}
+		break
+	}
+	for len(lines) > 0 && strings.TrimSpace(lines[len(lines)-1]) == "" {
+		lines = lines[:len(lines)-1]
+	}
+	c, rest, err := parseComputation(lines)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("hlo: trailing content after computation: %q", rest[0])
+	}
+	return c, nil
+}
+
+var (
+	headerRe = regexp.MustCompile(`^(\S+) \{$`)
+	instrRe  = regexp.MustCompile(`^  %(\S+) = f32\[([0-9 ]*)\] ([a-z-]+)\(([^)]*)\)(?:, (.*))?$`)
+	offsetRe = regexp.MustCompile(`^\(\((-?\d+)\*\(pid/(\d+)\)\+(?:(-?\d+)\*i\+)?(-?\d+)\)%(-?\d+)\)\*(-?\d+)$`)
+	pairRe   = regexp.MustCompile(`\{(-?\d+),(-?\d+)\}`)
+)
+
+// parseComputation consumes one "name { ... }" block from lines and
+// returns the remaining lines.
+func parseComputation(lines []string) (*Computation, []string, error) {
+	if len(lines) == 0 {
+		return nil, nil, fmt.Errorf("hlo: empty input")
+	}
+	m := headerRe.FindStringSubmatch(strings.TrimRight(lines[0], " "))
+	if m == nil {
+		return nil, nil, fmt.Errorf("hlo: expected computation header, got %q", lines[0])
+	}
+	c := NewComputation(m[1])
+	byName := map[string]*Instruction{}
+	i := 1
+	for ; i < len(lines); i++ {
+		line := strings.TrimRight(lines[i], " ")
+		if line == "}" {
+			return c, lines[i+1:], nil
+		}
+		im := instrRe.FindStringSubmatch(line)
+		if im == nil {
+			return nil, nil, fmt.Errorf("hlo: cannot parse instruction line %q", line)
+		}
+		name, shapeStr, opName, operandStr, attrStr := im[1], im[2], im[3], im[4], im[5]
+		op, ok := opByName(opName)
+		if !ok {
+			return nil, nil, fmt.Errorf("hlo: unknown opcode %q", opName)
+		}
+		shape, err := parseInts(shapeStr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("hlo: bad shape in %q: %w", line, err)
+		}
+		in := &Instruction{Op: op, Name: name, Shape: shape}
+		for _, opName := range splitOperands(operandStr) {
+			ref, ok := byName[strings.TrimPrefix(opName, "%")]
+			if !ok {
+				return nil, nil, fmt.Errorf("hlo: %s references undefined operand %s", name, opName)
+			}
+			in.Operands = append(in.Operands, ref)
+		}
+		if err := applyAttrs(in, attrStr); err != nil {
+			return nil, nil, fmt.Errorf("hlo: %s: %w", name, err)
+		}
+
+		// A fusion or loop is followed by its indented body.
+		if op == OpFusion || op == OpLoop {
+			var bodyLines []string
+			j := i + 1
+			for ; j < len(lines); j++ {
+				trimmed := lines[j]
+				if !strings.HasPrefix(trimmed, "    | ") {
+					break
+				}
+				bodyLines = append(bodyLines, strings.TrimPrefix(trimmed, "    | "))
+			}
+			body, rest, err := parseComputation(bodyLines)
+			if err != nil {
+				return nil, nil, fmt.Errorf("hlo: body of %s: %w", name, err)
+			}
+			if len(rest) != 0 {
+				return nil, nil, fmt.Errorf("hlo: body of %s has trailing lines", name)
+			}
+			in.Body = body
+			i = j - 1
+		}
+
+		built := c.build(in)
+		byName[built.Name] = built
+	}
+	return nil, nil, fmt.Errorf("hlo: computation %s not closed", c.Name)
+}
+
+func opByName(name string) (OpCode, bool) {
+	for op, n := range opNames {
+		if n == name {
+			return op, true
+		}
+	}
+	return OpInvalid, false
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ", ")
+	return parts
+}
+
+// applyAttrs decodes the printer's attribute text onto the instruction.
+func applyAttrs(in *Instruction, attrs string) error {
+	if attrs == "" {
+		return nil
+	}
+	switch in.Op {
+	case OpParameter:
+		return scanInt(attrs, "index=%d", &in.ParamIndex)
+	case OpConstant:
+		vals, err := parseFloats(cut(attrs, "value="))
+		if err != nil {
+			return err
+		}
+		in.Literal = tensor.FromValues(in.Shape, vals)
+		return nil
+	case OpEinsum:
+		spec, err := strconv.Unquote(cut(attrs, "spec="))
+		if err != nil {
+			return fmt.Errorf("bad einsum spec %q: %w", attrs, err)
+		}
+		in.EinsumSpec = spec
+		return nil
+	case OpConcat:
+		return scanInt(attrs, "axis=%d", &in.Axis)
+	case OpPad:
+		lowStr, rest, ok := strings.Cut(cut(attrs, "low="), " high=")
+		if !ok {
+			return fmt.Errorf("bad pad attrs %q", attrs)
+		}
+		highStr, valStr, ok := strings.Cut(rest, " value=")
+		if !ok {
+			return fmt.Errorf("bad pad attrs %q", attrs)
+		}
+		var err error
+		if in.PadLow, err = parseInts(strings.Trim(lowStr, "[]")); err != nil {
+			return err
+		}
+		if in.PadHigh, err = parseInts(strings.Trim(highStr, "[]")); err != nil {
+			return err
+		}
+		if in.PadValue, err = strconv.ParseFloat(valStr, 64); err != nil {
+			return err
+		}
+		return nil
+	case OpSlice:
+		body := strings.TrimSuffix(strings.TrimPrefix(cut(attrs, "bounds="), "[["), "]]")
+		startStr, limitStr, ok := strings.Cut(body, "]:[")
+		if !ok {
+			return fmt.Errorf("bad slice bounds %q", attrs)
+		}
+		var err error
+		if in.Starts, err = parseInts(startStr); err != nil {
+			return err
+		}
+		if in.Limits, err = parseInts(limitStr); err != nil {
+			return err
+		}
+		return nil
+	case OpDynamicSlice:
+		offStr, sizeStr, ok := strings.Cut(cut(attrs, "offsets="), " sizes=")
+		if !ok {
+			return fmt.Errorf("bad dynamic-slice attrs %q", attrs)
+		}
+		var err error
+		if in.Offsets, err = parseOffsets(offStr); err != nil {
+			return err
+		}
+		if in.SliceSizes, err = parseInts(strings.Trim(sizeStr, "[]")); err != nil {
+			return err
+		}
+		return nil
+	case OpDynamicUpdateSlice:
+		var err error
+		in.Offsets, err = parseOffsets(cut(attrs, "offsets="))
+		return err
+	case OpTranspose:
+		var err error
+		in.Perm, err = parseInts(strings.Trim(cut(attrs, "perm="), "[]"))
+		return err
+	case OpAllGather, OpReduceScatter, OpAllToAll:
+		axisStr, groupStr, ok := strings.Cut(cut(attrs, "axis="), " groups=")
+		if !ok {
+			return fmt.Errorf("bad collective attrs %q", attrs)
+		}
+		axis, err := strconv.Atoi(axisStr)
+		if err != nil {
+			return err
+		}
+		in.CollectiveAxis = axis
+		if in.Op == OpAllToAll {
+			in.Axis = axis // printer emits the split axis; concat axis matches for parsed text
+		}
+		in.Groups, err = parseGroups(groupStr)
+		return err
+	case OpAllReduce:
+		var err error
+		in.Groups, err = parseGroups(cut(attrs, "groups="))
+		return err
+	case OpCollectivePermute, OpCollectivePermuteStart, OpCollectivePermuteDone:
+		for _, m := range pairRe.FindAllStringSubmatch(attrs, -1) {
+			src, _ := strconv.Atoi(m[1])
+			dst, _ := strconv.Atoi(m[2])
+			in.Pairs = append(in.Pairs, SourceTargetPair{Source: src, Target: dst})
+		}
+		return nil
+	case OpLoop:
+		tripStr, resStr, ok := strings.Cut(cut(attrs, "trip="), " result=")
+		if !ok {
+			return fmt.Errorf("bad loop attrs %q", attrs)
+		}
+		var err error
+		if in.TripCount, err = strconv.Atoi(tripStr); err != nil {
+			return err
+		}
+		in.ResultIndex, err = strconv.Atoi(resStr)
+		return err
+	}
+	return nil
+}
+
+func cut(s, prefix string) string {
+	return strings.TrimPrefix(s, prefix)
+}
+
+func scanInt(s, format string, out *int) error {
+	_, err := fmt.Sscanf(s, format, out)
+	return err
+}
+
+func parseInts(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(s)
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	s = strings.Trim(strings.TrimSpace(s), "[]")
+	if s == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(s)
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseOffsets decodes the printer's {expr,expr,...} offset list. Plain
+// integers become constant offsets; the symbolic form recovers every
+// DynOffset field.
+func parseOffsets(s string) ([]DynOffset, error) {
+	s = strings.TrimSuffix(strings.TrimPrefix(strings.TrimSpace(s), "{"), "}")
+	if s == "" {
+		return nil, nil
+	}
+	// Split on commas that are not inside parentheses.
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+
+	out := make([]DynOffset, len(parts))
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if v, err := strconv.Atoi(p); err == nil {
+			out[i] = DynOffset{Add: v, Scale: 1}
+			continue
+		}
+		m := offsetRe.FindStringSubmatch(p)
+		if m == nil {
+			return nil, fmt.Errorf("bad offset expression %q", p)
+		}
+		atoi := func(s string) int {
+			v, _ := strconv.Atoi(s)
+			return v
+		}
+		out[i] = DynOffset{
+			PIDFactor:  atoi(m[1]),
+			Div:        atoi(m[2]),
+			IterFactor: atoi(m[3]), // empty → 0
+			Add:        atoi(m[4]),
+			Mod:        atoi(m[5]),
+			Scale:      atoi(m[6]),
+		}
+	}
+	return out, nil
+}
+
+// parseGroups decodes fmt's [][]int rendering, e.g. "[[0 1] [2 3]]".
+func parseGroups(s string) ([][]int, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[[") || !strings.HasSuffix(s, "]]") {
+		return nil, fmt.Errorf("bad groups %q", s)
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(s, "[["), "]]")
+	var groups [][]int
+	for _, g := range strings.Split(inner, "] [") {
+		ints, err := parseInts(g)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, ints)
+	}
+	return groups, nil
+}

@@ -1,0 +1,352 @@
+// Package machine models the accelerator hardware that the timing
+// simulator and the paper's cost model (§5.5) estimate against: per-chip
+// compute throughput with a roofline memory term, and the inter-chip
+// interconnect (ICI) links of a ring/mesh/torus.
+//
+// The defaults approximate a TPU v4 chip. Absolute numbers are not the
+// reproduction target — the *ratios* between compute and communication
+// times are, and those are set by FLOP/s-to-link-bandwidth proportions
+// that the defaults preserve.
+package machine
+
+import (
+	"fmt"
+
+	"overlap/internal/hlo"
+	"overlap/internal/tensor"
+)
+
+// Spec describes one accelerator chip and its interconnect attachment.
+type Spec struct {
+	Name string
+
+	// PeakFLOPS is the chip's peak matrix-unit throughput in FLOP/s.
+	PeakFLOPS float64
+	// MatmulEfficiency is the fraction of peak a large, well-shaped
+	// einsum achieves (compiler + pipeline losses).
+	MatmulEfficiency float64
+	// EfficiencyKnee is the einsum dimension size at which the matrix
+	// unit reaches half its asymptotic efficiency; small post-partition
+	// dimensions fall down this curve (the effect §2.2 cites as the
+	// reason for 2D partitioning).
+	EfficiencyKnee float64
+	// HBMBandwidth is the chip's main-memory bandwidth in bytes/s; it
+	// bounds element-wise and data-movement ops (roofline).
+	HBMBandwidth float64
+
+	// LinkBandwidth is the ICI bandwidth of one link in one direction,
+	// bytes/s. Every torus axis provides one such link per direction per
+	// neighbor.
+	LinkBandwidth float64
+	// LinkLatency is the per-hop transfer setup latency in seconds.
+	LinkLatency float64
+
+	// OpOverhead is the fixed per-instruction issue overhead in seconds.
+	OpOverhead float64
+	// MaxInFlight bounds concurrently outstanding asynchronous
+	// collectives (the limited synchronization flags of §5.2).
+	MaxInFlight int
+}
+
+// TPUv4 returns a TPU v4-like chip specification.
+//
+// The IR prices tensors at 4 bytes per element, but TPU training runs in
+// bf16 (2 bytes); the memory and link bandwidths below are therefore
+// doubled from their physical values (~1.2 TB/s HBM, ~45 GB/s per link
+// direction) so that byte-count/bandwidth ratios match bf16 execution.
+func TPUv4() Spec {
+	return Spec{
+		Name:             "tpu-v4",
+		PeakFLOPS:        275e12, // bf16 MXU peak
+		MatmulEfficiency: 0.88,
+		EfficiencyKnee:   32, // near-full efficiency from ~256 elements up
+		HBMBandwidth:     2.4e12,
+		LinkBandwidth:    90e9,
+		LinkLatency:      1e-6,
+		OpOverhead:       0.8e-6,
+		MaxInFlight:      8,
+	}
+}
+
+// GPUCluster returns an A100-like GPU node specification for the §7.2
+// generalization study: higher per-direction link bandwidth inside an
+// NVLink island but a lower FLOP-to-bandwidth ratio than a TPU pod, so
+// the overlap technique helps for the same reason with different
+// crossover points. Bandwidths are doubled like TPUv4's (bf16 data on a
+// 4-byte-element IR).
+func GPUCluster() Spec {
+	return Spec{
+		Name:             "gpu-a100",
+		PeakFLOPS:        312e12, // bf16 tensor-core peak
+		MatmulEfficiency: 0.80,
+		EfficiencyKnee:   48,
+		HBMBandwidth:     4.0e12, // ~2 TB/s HBM2e, doubled
+		LinkBandwidth:    250e9,  // NVLink-class per direction, doubled
+		LinkLatency:      3e-6,   // kernel-launch/NCCL hop setup
+		OpOverhead:       3e-6,
+		MaxInFlight:      8,
+	}
+}
+
+// Validate reports configuration errors (non-positive rates).
+func (s Spec) Validate() error {
+	if s.PeakFLOPS <= 0 || s.HBMBandwidth <= 0 || s.LinkBandwidth <= 0 {
+		return fmt.Errorf("machine: %s has non-positive throughput parameters", s.Name)
+	}
+	if s.MatmulEfficiency <= 0 || s.MatmulEfficiency > 1 {
+		return fmt.Errorf("machine: %s matmul efficiency %v outside (0,1]", s.Name, s.MatmulEfficiency)
+	}
+	if s.MaxInFlight <= 0 {
+		return fmt.Errorf("machine: %s needs a positive async budget", s.Name)
+	}
+	return nil
+}
+
+// EinsumEfficiency returns the fraction of peak achieved by an einsum
+// whose smallest participating dimension is minDim: the asymptotic
+// MatmulEfficiency derated by a saturating knee curve.
+func (s Spec) EinsumEfficiency(minDim int) float64 {
+	if minDim <= 0 {
+		return s.MatmulEfficiency
+	}
+	d := float64(minDim)
+	return s.MatmulEfficiency * d / (d + s.EfficiencyKnee)
+}
+
+// EinsumTime returns the execution time of an einsum with the given FLOP
+// count, memory traffic, and smallest dimension, as the roofline maximum
+// of the compute and memory terms plus issue overhead.
+func (s Spec) EinsumTime(flops, bytes int64, minDim int) float64 {
+	compute := float64(flops) / (s.PeakFLOPS * s.EinsumEfficiency(minDim))
+	memory := float64(bytes) / s.HBMBandwidth
+	if memory > compute {
+		compute = memory
+	}
+	return compute + s.OpOverhead
+}
+
+// MemoryTime returns the execution time of a memory-bound op touching
+// the given number of bytes.
+func (s Spec) MemoryTime(bytes int64) float64 {
+	return float64(bytes)/s.HBMBandwidth + s.OpOverhead
+}
+
+// TransferTime returns the wire time of a point-to-point transfer of the
+// given size across the given number of torus hops.
+func (s Spec) TransferTime(bytes int64, hops int) float64 {
+	if hops < 1 {
+		hops = 1
+	}
+	return float64(hops)*s.LinkLatency + float64(bytes)/s.LinkBandwidth
+}
+
+// RingAllGatherTime returns the wire time of a bandwidth-optimal
+// bidirectional-ring AllGather producing fullBytes on each of g devices:
+// each device receives (g-1)/g of the result over two link directions.
+func (s Spec) RingAllGatherTime(fullBytes int64, g int) float64 {
+	if g <= 1 {
+		return 0
+	}
+	recv := float64(fullBytes) * float64(g-1) / float64(g)
+	return recv/(2*s.LinkBandwidth) + float64(g-1)*s.LinkLatency
+}
+
+// RingReduceScatterTime returns the wire time of a bidirectional-ring
+// ReduceScatter over per-device inputs of inputBytes across g devices.
+func (s Spec) RingReduceScatterTime(inputBytes int64, g int) float64 {
+	if g <= 1 {
+		return 0
+	}
+	sent := float64(inputBytes) * float64(g-1) / float64(g)
+	return sent/(2*s.LinkBandwidth) + float64(g-1)*s.LinkLatency
+}
+
+// RingAllReduceTime returns the wire time of a ReduceScatter+AllGather
+// AllReduce over per-device inputs of bytes across g devices.
+func (s Spec) RingAllReduceTime(bytes int64, g int) float64 {
+	return s.RingReduceScatterTime(bytes, g) + s.RingAllGatherTime(bytes, g)
+}
+
+// AllToAllTime returns the wire time of a ring AllToAll of per-device
+// inputs of bytes across g devices: each device ships (g-1)/g of its
+// data an average of g/4 hops in each direction.
+func (s Spec) AllToAllTime(bytes int64, g int) float64 {
+	if g <= 1 {
+		return 0
+	}
+	sent := float64(bytes) * float64(g-1) / float64(g)
+	return sent*float64(g)/(8*s.LinkBandwidth) + float64(g-1)*s.LinkLatency
+}
+
+// CollectiveTime returns the wire time of a blocking collective
+// instruction, dispatching on its opcode. Non-collective instructions
+// return 0.
+func (s Spec) CollectiveTime(in *hlo.Instruction) float64 {
+	g := 1
+	if len(in.Groups) > 0 {
+		g = len(in.Groups[0])
+	}
+	switch in.Op {
+	case hlo.OpAllGather:
+		return s.RingAllGatherTime(in.ByteSize(), g)
+	case hlo.OpReduceScatter:
+		return s.RingReduceScatterTime(in.Operands[0].ByteSize(), g)
+	case hlo.OpAllReduce:
+		return s.RingAllReduceTime(in.ByteSize(), g)
+	case hlo.OpAllToAll:
+		return s.AllToAllTime(in.ByteSize(), g)
+	case hlo.OpCollectivePermute:
+		return s.TransferTime(in.ByteSize(), 1)
+	}
+	return 0
+}
+
+// InstructionCost returns the local (on-chip) execution time of an
+// instruction: einsums through the roofline, data-movement ops through
+// the memory term, and free ops (parameters, constants, async starts)
+// as zero. Collectives' wire time is modeled separately by the
+// simulator; their local cost here is only issue overhead.
+func (s Spec) InstructionCost(in *hlo.Instruction) float64 {
+	switch in.Op {
+	case hlo.OpParameter, hlo.OpConstant, hlo.OpTuple:
+		return 0
+	case hlo.OpZero:
+		// Accumulator initialization: buffer allocation, zero-filled
+		// lazily by the first writer.
+		return 0
+	case hlo.OpDynamicUpdateSlice:
+		// In-place region update: read the update, write the region.
+		return s.MemoryTime(2 * in.Operands[1].ByteSize())
+	case hlo.OpCollectivePermuteStart, hlo.OpCollectivePermuteDone:
+		return 0 // wire time handled by the simulator
+	case hlo.OpAllGather, hlo.OpReduceScatter, hlo.OpAllReduce, hlo.OpAllToAll, hlo.OpCollectivePermute:
+		return s.OpOverhead
+	case hlo.OpEinsum:
+		flops, minDim := EinsumStats(in)
+		bytes := in.ByteSize()
+		for _, op := range in.Operands {
+			bytes += op.ByteSize()
+		}
+		return s.EinsumTime(flops, bytes, minDim)
+	case hlo.OpFusion:
+		return s.fusionCost(in)
+	case hlo.OpLoop:
+		// A rolled loop occupies the device for its whole (serial)
+		// execution: TripCount times the body's local and wire costs.
+		var per float64
+		for _, inner := range in.Body.Instructions() {
+			per += s.InstructionCost(inner) + s.CollectiveTime(inner)
+		}
+		return float64(in.TripCount) * per
+	case hlo.OpReshape:
+		// Reshapes are free layout changes.
+		return 0
+	default:
+		// Element-wise and data movement: read operands, write result.
+		bytes := in.ByteSize()
+		for _, op := range in.Operands {
+			bytes += op.ByteSize()
+		}
+		return s.MemoryTime(bytes)
+	}
+}
+
+// fusionCost prices a fused kernel: all inner einsum FLOPs against the
+// matrix unit, but memory traffic only for the fusion's external inputs
+// and output — the benefit fusion exists to provide. A fusion rooted in
+// a DynamicUpdateSlice chain updates its output buffer in place: only
+// the updated regions are written and the aliased base buffer is not
+// re-read.
+func (s Spec) fusionCost(in *hlo.Instruction) float64 {
+	var flops int64
+	minDim := 0
+	var dusWrite int64
+	aliasedBases := map[*hlo.Instruction]bool{}
+	for _, inner := range in.Body.Instructions() {
+		switch inner.Op {
+		case hlo.OpEinsum:
+			f, m := EinsumStats(inner)
+			flops += f
+			if minDim == 0 || m < minDim {
+				minDim = m
+			}
+		case hlo.OpDynamicUpdateSlice:
+			dusWrite += inner.Operands[1].ByteSize()
+			aliasedBases[inner.Operands[0]] = true
+		}
+	}
+	rootIsDUS := in.Body.Root().Op == hlo.OpDynamicUpdateSlice
+	var bytes int64
+	if rootIsDUS {
+		bytes += dusWrite
+	} else {
+		bytes += in.ByteSize()
+	}
+	params := in.Body.Parameters()
+	for i, op := range in.Operands {
+		if rootIsDUS && i < len(params) && aliasedBases[params[i]] {
+			continue // in-place alias of the output buffer
+		}
+		bytes += op.ByteSize()
+	}
+	if flops == 0 {
+		return s.MemoryTime(bytes)
+	}
+	return s.EinsumTime(flops, bytes, minDim)
+}
+
+// EinsumStats returns the FLOP count and the effective matrix-unit
+// tiling dimension of an einsum instruction: viewing the einsum as a
+// (batched) M×K·K×N matmul — M the product of LHS-only output labels, N
+// the product of RHS-only output labels, K the product of contracted
+// labels — the efficiency-limiting dimension is min(M, N, K). Batch
+// labels do not limit tiling.
+func EinsumStats(in *hlo.Instruction) (flops int64, minDim int) {
+	spec, err := tensor.ParseEinsum(in.EinsumSpec)
+	if err != nil {
+		panic(fmt.Sprintf("machine: einsum %s has invalid spec %q", in.Name, in.EinsumSpec))
+	}
+	flops, err = spec.Flops(in.Operands[0].Shape, in.Operands[1].Shape)
+	if err != nil {
+		panic(fmt.Sprintf("machine: einsum %s stats: %v", in.Name, err))
+	}
+
+	sizes := map[byte]int{}
+	for side, labels := range spec.Inputs {
+		for i := 0; i < len(labels); i++ {
+			sizes[labels[i]] = in.Operands[side].Shape[i]
+		}
+	}
+	contains := func(s string, c byte) bool {
+		for i := 0; i < len(s); i++ {
+			if s[i] == c {
+				return true
+			}
+		}
+		return false
+	}
+	m, n, k := 1, 1, 1
+	for label, size := range sizes {
+		inL := contains(spec.Inputs[0], label)
+		inR := len(spec.Inputs) > 1 && contains(spec.Inputs[1], label)
+		inOut := contains(spec.Output, label)
+		switch {
+		case !inOut:
+			k *= size
+		case inL && inR:
+			// batch label: does not limit matrix-unit tiling
+		case inL:
+			m *= size
+		default:
+			n *= size
+		}
+	}
+	minDim = m
+	if n < minDim {
+		minDim = n
+	}
+	if k < minDim {
+		minDim = k
+	}
+	return flops, minDim
+}

@@ -1,0 +1,203 @@
+// Package models defines the evaluated workloads of the paper — the six
+// production models of Table 1 and the weak-scaled GPT family of Table 2
+// — and builds their per-layer SPMD training-step graphs with the
+// partitioning strategies of §2.2 (2D for the large dense models, 1D for
+// BigSSL, mixture-of-experts dispatch for GLaM).
+package models
+
+import (
+	"fmt"
+
+	"overlap/internal/topology"
+)
+
+// Arch selects the layer architecture family.
+type Arch int
+
+const (
+	// ArchDense is a decoder-only dense transformer (GPT, Meena) or
+	// encoder (MLPerf BERT).
+	ArchDense Arch = iota
+	// ArchEncDec is a text-to-text encoder-decoder (T5); its backward
+	// pass carries extra AllToAll relayouts (§6.1).
+	ArchEncDec
+	// ArchMoE is a sparsely activated mixture-of-experts model (GLaM).
+	ArchMoE
+	// ArchSpeech is a 1D-partitioned speech encoder (BigSSL).
+	ArchSpeech
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchDense:
+		return "dense"
+	case ArchEncDec:
+		return "enc-dec"
+	case ArchMoE:
+		return "moe"
+	default:
+		return "speech"
+	}
+}
+
+// Config is one evaluated model: the Table 1 / Table 2 hyperparameters
+// plus the mesh layout used to partition it.
+type Config struct {
+	Name string
+	Arch Arch
+
+	// ParamsB is the reported parameter count in billions.
+	ParamsB float64
+	// Layers, ModelDim, FFDim, Batch and Chips are the Table 1/2 rows.
+	Layers   int
+	ModelDim int
+	FFDim    int
+	Batch    int
+	Chips    int
+
+	// SeqLen is the training sequence length (not given in the tables;
+	// chosen per model family).
+	SeqLen int
+	// HeadDim is the per-head attention dimension.
+	HeadDim int
+
+	// MeshX and MeshY are the model-parallel mesh extents (x is the
+	// slow, first axis). For 1D-partitioned models MeshY is the
+	// model-parallel ring and MeshX the data-parallel extent.
+	MeshX, MeshY int
+
+	// Experts is the expert count for ArchMoE.
+	Experts int
+	// ExtraAllToAll adds per-layer activation-sized AllToAll relayouts
+	// (the T5 backward collectives §6.1 attributes ~10% of runtime to).
+	ExtraAllToAll int
+}
+
+// Mesh returns the model's logical device mesh.
+func (c Config) Mesh() *topology.Mesh {
+	return topology.NewTorus2D(c.MeshX, c.MeshY)
+}
+
+// Tokens returns the global token count of one batch.
+func (c Config) Tokens() int { return c.Batch * c.SeqLen }
+
+// Heads returns the attention head count.
+func (c Config) Heads() int { return c.ModelDim / c.HeadDim }
+
+// Validate checks divisibility constraints of the partitioning.
+func (c Config) Validate() error {
+	type check struct {
+		what string
+		val  int
+		by   int
+	}
+	checks := []check{
+		{"model dim by mesh x", c.ModelDim, c.MeshX},
+		{"model dim by mesh y", c.ModelDim, c.MeshY},
+		{"ff dim by mesh x", c.FFDim, c.MeshX},
+		{"tokens by mesh y", c.Tokens(), c.MeshY},
+		{"heads by mesh x", c.Heads(), c.MeshX},
+		{"model dim by head dim", c.ModelDim, c.HeadDim},
+	}
+	if c.Arch == ArchSpeech {
+		// 1D partitioning: the model ring is the y axis, data
+		// parallelism the x axis.
+		checks = []check{
+			{"model dim by ring", c.ModelDim, c.MeshY},
+			{"ff dim by ring", c.FFDim, c.MeshY},
+			{"tokens by dp", c.Tokens(), c.MeshX},
+			{"heads by ring", c.Heads(), c.MeshY},
+		}
+	}
+	if c.Arch == ArchMoE {
+		checks = append(checks,
+			check{"experts by mesh y", c.Experts, c.MeshY},
+			check{"tokens by mesh y squared (dispatch relayout)", c.Tokens(), c.MeshY * c.MeshY})
+	}
+	if c.ExtraAllToAll > 0 {
+		checks = append(checks, check{"tokens by mesh y squared (relayout)", c.Tokens(), c.MeshY * c.MeshY})
+	}
+	for _, ch := range checks {
+		if ch.by == 0 || ch.val%ch.by != 0 {
+			return fmt.Errorf("models: %s: %s (%d %% %d != 0)", c.Name, ch.what, ch.val, ch.by)
+		}
+	}
+	if c.MeshX*c.MeshY > c.Chips {
+		return fmt.Errorf("models: %s: mesh %dx%d exceeds %d chips", c.Name, c.MeshX, c.MeshY, c.Chips)
+	}
+	return nil
+}
+
+// Table1 returns the six evaluated applications of Table 1.
+func Table1() []Config {
+	return []Config{
+		{
+			Name: "GPT_1T", Arch: ArchDense, ParamsB: 1030,
+			Layers: 142, ModelDim: 24576, FFDim: 98304,
+			Batch: 4096, SeqLen: 2048, HeadDim: 128,
+			Chips: 2048, MeshX: 16, MeshY: 128,
+		},
+		{
+			Name: "Meena_500B", Arch: ArchDense, ParamsB: 507,
+			Layers: 120, ModelDim: 18432, FFDim: 65536,
+			Batch: 2048, SeqLen: 2048, HeadDim: 128,
+			Chips: 1024, MeshX: 16, MeshY: 64,
+		},
+		{
+			Name: "MLPerf_200B", Arch: ArchDense, ParamsB: 199,
+			Layers: 66, ModelDim: 12288, FFDim: 98304,
+			Batch: 4096, SeqLen: 512, HeadDim: 128,
+			Chips: 1024, MeshX: 16, MeshY: 64,
+		},
+		{
+			Name: "T5_300B", Arch: ArchEncDec, ParamsB: 290,
+			Layers: 64, ModelDim: 12288, FFDim: 36864,
+			Batch: 3072, SeqLen: 512, HeadDim: 128,
+			Chips: 512, MeshX: 8, MeshY: 64,
+			ExtraAllToAll: 2,
+		},
+		{
+			Name: "GLaM_1T", Arch: ArchMoE, ParamsB: 1160,
+			Layers: 32, ModelDim: 8192, FFDim: 32768,
+			Batch: 1024, SeqLen: 1024, HeadDim: 128,
+			Chips: 1024, MeshX: 16, MeshY: 64,
+			Experts: 64,
+		},
+		{
+			Name: "BigSSL_10B", Arch: ArchSpeech, ParamsB: 10.4,
+			Layers: 48, ModelDim: 3072, FFDim: 12288,
+			Batch: 64, SeqLen: 512, HeadDim: 128,
+			Chips: 128, MeshX: 16, MeshY: 8,
+		},
+	}
+}
+
+// Table2 returns the weak-scaled GPT family of Table 2.
+func Table2() []Config {
+	base := func(name string, paramsB float64, layers, d, f, batch, chips, mx, my int) Config {
+		return Config{
+			Name: name, Arch: ArchDense, ParamsB: paramsB,
+			Layers: layers, ModelDim: d, FFDim: f,
+			Batch: batch, SeqLen: 2048, HeadDim: 128,
+			Chips: chips, MeshX: mx, MeshY: my,
+		}
+	}
+	return []Config{
+		base("GPT_32B", 32.2, 40, 8192, 32768, 512, 64, 4, 16),
+		base("GPT_64B", 64.2, 51, 10240, 40960, 512, 128, 8, 16),
+		base("GPT_128B", 128.6, 71, 12288, 49152, 1024, 256, 8, 32),
+		base("GPT_256B", 257.7, 80, 16384, 65536, 2048, 512, 16, 32),
+		base("GPT_512B", 513.4, 102, 20480, 81920, 3072, 1024, 16, 64),
+		base("GPT_1T", 1030, 142, 24576, 98304, 4096, 2048, 16, 128),
+	}
+}
+
+// ByName returns the Table 1 or Table 2 config with the given name.
+func ByName(name string) (Config, error) {
+	for _, c := range append(Table1(), Table2()...) {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("models: unknown model %q", name)
+}

@@ -1,0 +1,250 @@
+package models
+
+import (
+	"fmt"
+
+	"overlap/internal/hlo"
+	"overlap/internal/partition"
+)
+
+// Mesh axis roles: x is the first (slow) axis, y the second. The 2D
+// strategy shards tokens on y and the model/feature dimensions on x,
+// following Fig 3; the 1D (speech) strategy uses y as the
+// model-parallel ring and x for data parallelism.
+const (
+	axisX = 0
+	axisY = 1
+)
+
+// BuildLayerStep constructs the per-device SPMD graph of ONE training
+// step of ONE layer of the model: forward and backward passes of the
+// feed-forward block and the attention block, with the collectives the
+// partitioning strategy requires. Step time and FLOPs scale linearly in
+// the layer count, so all throughput ratios are computed on this graph.
+//
+// Modeling notes (see DESIGN.md for the substitution table):
+//   - Attention keys/values enter as parameters shaped [heads, seq,
+//     headDim] rather than being produced by reshapes of the same
+//     projection, preserving the FLOP count and locality of the
+//     attention core while keeping the partitioned graph simple.
+//   - The backward pass is emitted explicitly: for every forward
+//     AllGather→Einsum there is a data-gradient Einsum→ReduceScatter on
+//     the same mesh axis and a weight-gradient Einsum→ReduceScatter on
+//     the token axis, matching "the AllGathers become ReduceScatters"
+//     (§2.2).
+//   - Weight gathers are re-materialized in the backward pass (fresh
+//     AllGathers) as memory-saving compilers do.
+func BuildLayerStep(cfg Config) (*hlo.Computation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Arch {
+	case ArchDense, ArchEncDec:
+		return buildDenseLayer(cfg)
+	case ArchMoE:
+		return buildMoELayer(cfg)
+	case ArchSpeech:
+		return buildSpeechLayer(cfg)
+	}
+	return nil, fmt.Errorf("models: %s has unknown architecture", cfg.Name)
+}
+
+// sink ties all step outputs together so dead-code elimination keeps
+// every subgraph alive.
+func sink(b *partition.Builder, outs ...*partition.Value) {
+	instrs := make([]*hlo.Instruction, len(outs))
+	for i, v := range outs {
+		instrs[i] = v.Instr
+	}
+	b.Comp.Tuple(instrs...)
+}
+
+func buildDenseLayer(cfg Config) (*hlo.Computation, error) {
+	mesh := cfg.Mesh()
+	b := partition.NewBuilder(cfg.Name+".layer_step", mesh)
+	e, d, f := cfg.Tokens(), cfg.ModelDim, cfg.FFDim
+	h, t, s := cfg.Heads(), cfg.HeadDim, cfg.SeqLen
+
+	shardED := partition.OnDims(2, []int{0, 1}, []int{axisY, axisX})
+
+	act := b.Parameter("act_ffn", []int{e, d}, shardED)
+	actAttn := b.Parameter("act_attn", []int{e, d}, shardED)
+	w1 := b.Parameter("w1", []int{d, f}, partition.OnDims(2, []int{0, 1}, []int{axisY, axisX}))
+	w2 := b.Parameter("w2", []int{f, d}, partition.OnDim(2, 0, axisX))
+	wq := b.Parameter("wq", []int{d, h, t}, partition.OnDims(3, []int{0, 1}, []int{axisY, axisX}))
+	wo := b.Parameter("wo", []int{h, t, d}, partition.OnDim(3, 0, axisX))
+	keys := b.Parameter("keys", []int{h, s, t}, partition.OnDim(3, 0, axisX))
+	values := b.Parameter("values", []int{h, s, t}, partition.OnDim(3, 0, axisX))
+	dOut := b.Parameter("d_out", []int{e, d}, shardED)
+	dOutAttn := b.Parameter("d_out_attn", []int{e, d}, shardED)
+
+	// ---------------- forward: feed-forward block (Fig 3) ----------------
+	actG := b.AllGather(act, 1) // x-ring: unshard D
+	w1G := b.AllGather(w1, 0)   // y-ring: unshard D
+	hid := b.Einsum("ed,df->ef", actG, w1G)
+	ffPart := b.Einsum("ef,fd->ed", hid, w2) // contracts F (x-sharded): partial over x
+	ffOut := b.ReduceScatter(ffPart, 1, axisX)
+
+	// ---------------- forward: attention block ----------------
+	attG := b.AllGather(actAttn, 1)
+	wqG := b.AllGather(wq, 0)
+	q := b.Einsum("ed,dht->het", attG, wqG)         // heads sharded on x, tokens on y
+	scores := b.Einsum("het,hst->hes", q, keys)     // local
+	ctx := b.Einsum("hes,hst->het", scores, values) // local
+	oPart := b.Einsum("het,htd->ed", ctx, wo)       // contracts heads (x): partial over x
+	attnOut := b.ReduceScatter(oPart, 1, axisX)
+
+	// ---------------- backward: feed-forward block ----------------
+	dOutG := b.AllGather(dOut, 1)
+	dHid := b.Einsum("ed,fd->ef", dOutG, w2) // AllGather-einsum on the x-ring
+	w1GB := b.AllGather(w1, 0)               // re-materialized weight gather
+	dActPart := b.Einsum("ef,df->ed", dHid, w1GB)
+	dAct := b.ReduceScatter(dActPart, 1, axisX)
+	actGB := b.AllGather(act, 1)
+	dW1Part := b.Einsum("ed,ef->df", actGB, dHid) // contracts tokens (y): partial over y
+	dW1 := b.ReduceScatter(dW1Part, 0, axisY)
+	dW2Part := b.Einsum("ef,ed->fd", hid, dOutG)
+	dW2 := b.ReduceScatter(dW2Part, 1, axisY)
+
+	// ---------------- backward: attention block ----------------
+	dAttnG := b.AllGather(dOutAttn, 1)
+	dCtx := b.Einsum("ed,htd->het", dAttnG, wo)
+	dScores := b.Einsum("het,hst->hes", dCtx, values)
+	dQ := b.Einsum("hes,hst->het", dScores, keys)
+	attGB := b.AllGather(actAttn, 1)
+	dWqPart := b.Einsum("ed,het->dht", attGB, dQ) // contracts tokens (y): partial over y
+	dWq := b.ReduceScatter(dWqPart, 0, axisY)
+	dWoPart := b.Einsum("het,ed->htd", ctx, dAttnG)
+	dWo := b.ReduceScatter(dWoPart, 2, axisY)
+
+	outs := []*partition.Value{ffOut, attnOut, dAct, dW1, dW2, dCtx, dWq, dWo}
+
+	// Encoder-decoder models carry extra activation relayouts in the
+	// backward pass (the T5 AllToAlls of §6.1).
+	for i := 0; i < cfg.ExtraAllToAll; i++ {
+		outs = append(outs, b.RelayoutAllToAll(dAct, axisY))
+	}
+	sink(b, outs...)
+	return b.Comp, nil
+}
+
+func buildMoELayer(cfg Config) (*hlo.Computation, error) {
+	mesh := cfg.Mesh()
+	b := partition.NewBuilder(cfg.Name+".layer_step", mesh)
+	e, d, f := cfg.Tokens(), cfg.ModelDim, cfg.FFDim
+	h, t, s := cfg.Heads(), cfg.HeadDim, cfg.SeqLen
+	p := cfg.Experts
+	te := e / p // tokens per expert at capacity factor 1
+
+	shardED := partition.OnDims(2, []int{0, 1}, []int{axisY, axisX})
+
+	// ---------------- attention block (same as dense, fwd+bwd) --------
+	actAttn := b.Parameter("act_attn", []int{e, d}, shardED)
+	wq := b.Parameter("wq", []int{d, h, t}, partition.OnDims(3, []int{0, 1}, []int{axisY, axisX}))
+	wo := b.Parameter("wo", []int{h, t, d}, partition.OnDim(3, 0, axisX))
+	keys := b.Parameter("keys", []int{h, s, t}, partition.OnDim(3, 0, axisX))
+	values := b.Parameter("values", []int{h, s, t}, partition.OnDim(3, 0, axisX))
+	dOutAttn := b.Parameter("d_out_attn", []int{e, d}, shardED)
+
+	attG := b.AllGather(actAttn, 1)
+	wqG := b.AllGather(wq, 0)
+	q := b.Einsum("ed,dht->het", attG, wqG)
+	scores := b.Einsum("het,hst->hes", q, keys)
+	ctx := b.Einsum("hes,hst->het", scores, values)
+	oPart := b.Einsum("het,htd->ed", ctx, wo)
+	attnOut := b.ReduceScatter(oPart, 1, axisX)
+
+	dAttnG := b.AllGather(dOutAttn, 1)
+	dCtx := b.Einsum("ed,htd->het", dAttnG, wo)
+	dScores := b.Einsum("het,hst->hes", dCtx, values)
+	dQ := b.Einsum("hes,hst->het", dScores, keys)
+	attGB := b.AllGather(actAttn, 1)
+	dWqPart := b.Einsum("ed,het->dht", attGB, dQ)
+	dWq := b.ReduceScatter(dWqPart, 0, axisY)
+	dWoPart := b.Einsum("het,ed->htd", ctx, dAttnG)
+	dWo := b.ReduceScatter(dWoPart, 2, axisY)
+
+	// ---------------- mixture-of-experts feed-forward ----------------
+	// Dispatch and combine are activation-sized AllToAlls along the
+	// token axis; they have no dependent einsum the decomposition could
+	// attach to, so they stay blocking (the GLaM limitation §6.1 cites).
+	actMoE := b.Parameter("act_moe", []int{e, d}, shardED)
+	dispatched := b.RelayoutAllToAll(actMoE, axisY)
+
+	routed := b.Parameter("routed", []int{p, te, d}, partition.OnDims(3, []int{0, 2}, []int{axisY, axisX}))
+	we1 := b.Parameter("we1", []int{p, d, f}, partition.OnDims(3, []int{0, 2}, []int{axisY, axisX}))
+	we2 := b.Parameter("we2", []int{p, f, d}, partition.OnDims(3, []int{0, 1}, []int{axisY, axisX}))
+	routedG := b.AllGather(routed, 2) // x-ring gather of the expert input
+	hid := b.Einsum("ptd,pdf->ptf", routedG, we1)
+	ePart := b.Einsum("ptf,pfd->ptd", hid, we2) // contracts F (x): partial over x
+	expertOut := b.ReduceScatter(ePart, 2, axisX)
+	combined := b.RelayoutAllToAll(actMoE, axisY) // combine leg
+
+	// Expert backward: data and weight gradients, as in the dense FFN.
+	dExp := b.Parameter("d_expert", []int{p, te, d}, partition.OnDims(3, []int{0, 2}, []int{axisY, axisX}))
+	dExpG := b.AllGather(dExp, 2)
+	dHid := b.Einsum("ptd,pfd->ptf", dExpG, we2ForGrad(b, p, f, d))
+	// The expert weight gradient contracts the per-expert token
+	// dimension, which is unsharded: no reduction collective appears —
+	// one less overlap site than the dense FFN.
+	dWe1 := b.Einsum("ptd,ptf->pdf", routedG, dHid)
+
+	sink(b, attnOut, dWq, dWo, dScores, dispatched, expertOut, combined, dWe1)
+	return b.Comp, nil
+}
+
+// we2ForGrad declares the gradient-side copy of the second expert weight
+// with the sharding the backward einsum needs: the contraction over the
+// model dimension is local, and the feed-forward dimension stays sharded
+// on x.
+func we2ForGrad(b *partition.Builder, p, f, d int) *partition.Value {
+	return b.Parameter("we2_grad", []int{p, f, d}, partition.OnDims(3, []int{0, 1}, []int{axisY, axisX}))
+}
+
+func buildSpeechLayer(cfg Config) (*hlo.Computation, error) {
+	mesh := cfg.Mesh()
+	b := partition.NewBuilder(cfg.Name+".layer_step", mesh)
+	e, d, f := cfg.Tokens(), cfg.ModelDim, cfg.FFDim
+	h, t, s := cfg.Heads(), cfg.HeadDim, cfg.SeqLen
+
+	// 1D strategy (Fig 2): activations keep a batch shard on the
+	// data-parallel x axis; weights are sharded along the model ring (y)
+	// and gathered on demand before each einsum.
+	shardE := partition.OnDim(2, 0, axisX)
+
+	act := b.Parameter("act", []int{e, d}, shardE)
+	w1 := b.Parameter("w1", []int{d, f}, partition.OnDim(2, 0, axisY))
+	w2 := b.Parameter("w2", []int{f, d}, partition.OnDim(2, 0, axisY))
+	wq := b.Parameter("wq", []int{d, h, t}, partition.OnDim(3, 0, axisY))
+	keys := b.Parameter("keys", []int{h, s, t}, partition.ReplicatedSharding(3))
+	values := b.Parameter("values", []int{h, s, t}, partition.ReplicatedSharding(3))
+	dOut := b.Parameter("d_out", []int{e, d}, shardE)
+
+	// Forward FFN: two AllGather→Einsum sites on the model ring.
+	w1G := b.AllGather(w1, 0)
+	hid := b.Einsum("ed,df->ef", act, w1G)
+	w2G := b.AllGather(w2, 0)
+	ffOut := b.Einsum("ef,fd->ed", hid, w2G)
+
+	// Forward attention: projection gathered on the ring, local core.
+	wqG := b.AllGather(wq, 0)
+	q := b.Einsum("ed,dht->het", act, wqG)
+	scores := b.Einsum("het,hst->hes", q, keys)
+	ctx := b.Einsum("hes,hst->het", scores, values)
+
+	// Backward: data gradients re-gather the weights on the ring;
+	// weight gradients contract the batch dimension sharded on the
+	// data-parallel axis, leaving partial sums resolved by AllReduce —
+	// plain data parallelism, not overlappable by the technique.
+	w2GB := b.AllGather(w2, 0)
+	dHid := b.Einsum("ed,fd->ef", dOut, w2GB)
+	w1GB := b.AllGather(w1, 0)
+	dAct := b.Einsum("ef,df->ed", dHid, w1GB)
+	dW1Part := b.Einsum("ed,ef->df", act, dHid) // contracts tokens (x): partial over x
+	dW1 := b.AllReduce(dW1Part, axisX)
+	dW2Part := b.Einsum("ef,ed->fd", hid, dOut)
+	dW2 := b.AllReduce(dW2Part, axisX)
+
+	sink(b, ffOut, ctx, dAct, dW1, dW2)
+	return b.Comp, nil
+}

@@ -1,0 +1,245 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"overlap/internal/core"
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/partition"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+func TestTableConfigsValidate(t *testing.T) {
+	for _, cfg := range append(Table1(), Table2()...) {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("Meena_500B")
+	if err != nil || c.Layers != 120 {
+		t.Fatalf("ByName = %+v, %v", c, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestBuildLayerStepAllConfigs(t *testing.T) {
+	for _, cfg := range append(Table1(), Table2()...) {
+		c, err := BuildLayerStep(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if err := c.Verify(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		// Every model must contain decomposable sites.
+		sites := core.FindPatterns(c, core.FirstChooser{})
+		if len(sites) == 0 {
+			t.Fatalf("%s: no overlap sites in layer graph", cfg.Name)
+		}
+	}
+}
+
+// tinyDense returns a laptop-scale dense config whose layer graph the
+// functional interpreter can execute.
+func tinyDense() Config {
+	return Config{
+		Name: "tiny", Arch: ArchDense, ParamsB: 0,
+		Layers: 2, ModelDim: 12, FFDim: 24,
+		Batch: 2, SeqLen: 6, HeadDim: 2,
+		Chips: 6, MeshX: 2, MeshY: 3,
+	}
+}
+
+func tinyMoE() Config {
+	return Config{
+		Name: "tiny_moe", Arch: ArchMoE,
+		Layers: 2, ModelDim: 12, FFDim: 8,
+		Batch: 3, SeqLen: 6, HeadDim: 2,
+		Chips: 6, MeshX: 2, MeshY: 3,
+		Experts: 3,
+	}
+}
+
+func tinySpeech() Config {
+	return Config{
+		Name: "tiny_speech", Arch: ArchSpeech,
+		Layers: 2, ModelDim: 8, FFDim: 16,
+		Batch: 4, SeqLen: 4, HeadDim: 2,
+		Chips: 6, MeshX: 2, MeshY: 2,
+	}
+}
+
+// randomArgs builds per-device parameter values matching each
+// parameter's local shape by sharding a random logical tensor. Since
+// every parameter's local shape arises from a sharding of a logical
+// tensor, we reconstruct per-device values directly from the local
+// shapes (identical across devices is fine for an equivalence check —
+// divergence would still surface through the collectives' structure).
+func randomArgs(c *hlo.Computation, numDevices int, rng *rand.Rand) [][]*tensor.Tensor {
+	params := c.Parameters()
+	args := make([][]*tensor.Tensor, len(params))
+	for i, p := range params {
+		vals := make([]*tensor.Tensor, numDevices)
+		for d := 0; d < numDevices; d++ {
+			vals[d] = tensor.Rand(rng, p.Shape...)
+		}
+		args[i] = vals
+	}
+	return args
+}
+
+// TestLayerStepEquivalenceUnderOverlap is the end-to-end semantics
+// check: the full overlap pipeline applied to a complete (tiny) layer
+// training-step graph preserves every per-device output.
+func TestLayerStepEquivalenceUnderOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, cfg := range []Config{tinyDense(), tinyMoE(), tinySpeech()} {
+		n := cfg.MeshX * cfg.MeshY
+		base, err := BuildLayerStep(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		args := randomArgs(base, n, rng)
+
+		// Compare a named interior output (the tuple root is a
+		// placeholder): re-root both graphs on each tuple operand.
+		baseOuts := tupleOperandNames(base)
+		refVals := interpretOutputs(t, base, n, args, baseOuts)
+
+		over, err := BuildLayerStep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.DefaultOptions(machine.TPUv4())
+		opts.UseCostModel = false
+		report, err := core.Apply(over, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if report.SitesDecomposed == 0 {
+			t.Fatalf("%s: nothing decomposed", cfg.Name)
+		}
+		gotVals := interpretOutputs(t, over, n, args, baseOuts)
+		for pos, ref := range refVals {
+			got, ok := gotVals[pos]
+			if !ok {
+				t.Fatalf("%s: output %d missing after overlap", cfg.Name, pos)
+			}
+			for d := range ref {
+				if !got[d].AllClose(ref[d], 1e-9) {
+					t.Fatalf("%s: output %d device %d diverges by %v", cfg.Name, pos, d, got[d].MaxDifference(ref[d]))
+				}
+			}
+		}
+	}
+}
+
+// tupleOperandNames returns the names of the step outputs pinned by the
+// final tuple. Collective outputs are renamed by the rewrite, so only
+// outputs that survive (parameters aside) are compared; the rewritten
+// graph is matched by position instead of name.
+func tupleOperandNames(c *hlo.Computation) []string {
+	root := c.Root()
+	names := make([]string, len(root.Operands))
+	for i, op := range root.Operands {
+		names[i] = op.Name
+	}
+	return names
+}
+
+// interpretOutputs evaluates the computation and returns the per-device
+// values of each tuple operand, keyed by output position.
+func interpretOutputs(t *testing.T, c *hlo.Computation, n int, args [][]*tensor.Tensor, _ []string) map[int][]*tensor.Tensor {
+	t.Helper()
+	// Interpret the whole computation once, reading tuple operands.
+	values, err := sim.InterpretAll(c, n, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := c.Root()
+	out := make(map[int][]*tensor.Tensor, len(root.Operands))
+	for i, op := range root.Operands {
+		out[i] = values[op]
+	}
+	return out
+}
+
+func TestLayerGraphHasBothRingAxes(t *testing.T) {
+	cfg := Table2()[0] // GPT_32B
+	c, err := BuildLayerStep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := core.FindPatterns(c, core.FirstChooser{})
+	strides := map[int]bool{}
+	for _, p := range sites {
+		strides[p.Ring.Stride] = true
+	}
+	if len(strides) < 2 {
+		t.Fatalf("expected overlap sites on both mesh axes, strides %v", strides)
+	}
+	kinds := map[core.PatternKind]bool{}
+	for _, p := range sites {
+		kinds[p.Kind] = true
+	}
+	if !kinds[core.AllGatherEinsum] || !kinds[core.EinsumReduceScatter] {
+		t.Fatalf("expected both site kinds, got %v", kinds)
+	}
+}
+
+func TestSpeechLayerKeepsDataParallelAllReduce(t *testing.T) {
+	c, err := BuildLayerStep(tinySpeech())
+	if err != nil {
+		t.Fatal(err)
+	}
+	allReduce := 0
+	for _, in := range c.Instructions() {
+		if in.Op == hlo.OpAllReduce {
+			allReduce++
+		}
+	}
+	if allReduce != 2 {
+		t.Fatalf("speech layer has %d all-reduces, want 2 (weight grads)", allReduce)
+	}
+}
+
+func TestMoELayerHasAllToAll(t *testing.T) {
+	c, err := BuildLayerStep(tinyMoE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2a := 0
+	for _, in := range c.Instructions() {
+		if in.Op == hlo.OpAllToAll {
+			a2a++
+		}
+	}
+	if a2a != 2 {
+		t.Fatalf("MoE layer has %d all-to-alls, want 2 (dispatch+combine)", a2a)
+	}
+}
+
+func TestPartitionShardShapesMatchParameters(t *testing.T) {
+	// The local parameter shapes of the big configs must equal
+	// logical/sharding arithmetic (guards against silent divisibility
+	// bugs in the builders).
+	cfg := Table1()[0]
+	c, err := BuildLayerStep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := cfg.Mesh()
+	act := c.Find("act_ffn")
+	want := partition.OnDims(2, []int{0, 1}, []int{1, 0}).ShardShape([]int{cfg.Tokens(), cfg.ModelDim}, mesh)
+	if act.Shape[0] != want[0] || act.Shape[1] != want[1] {
+		t.Fatalf("act shape %v, want %v", act.Shape, want)
+	}
+}

@@ -1,0 +1,237 @@
+package partition
+
+import (
+	"fmt"
+
+	"overlap/internal/hlo"
+	"overlap/internal/tensor"
+	"overlap/internal/topology"
+)
+
+// Value is a sharded tensor in a partitioned program: the per-device HLO
+// instruction that holds its local shard, the logical (global) shape,
+// the sharding, and the set of mesh axes over which the local values are
+// still un-reduced partial sums.
+type Value struct {
+	Instr    *hlo.Instruction
+	Logical  []int
+	Sharding Sharding
+	Partial  []int // mesh axes pending reduction
+}
+
+// IsPartial reports whether the value awaits a cross-device reduction.
+func (v *Value) IsPartial() bool { return len(v.Partial) > 0 }
+
+// Builder lowers a sharding-annotated layer description into a
+// per-device SPMD computation, inserting the collectives the
+// partitioning strategy requires.
+type Builder struct {
+	Mesh *topology.Mesh
+	Comp *hlo.Computation
+
+	nextParam int
+}
+
+// NewBuilder returns a builder emitting into a fresh computation with
+// the given name.
+func NewBuilder(name string, mesh *topology.Mesh) *Builder {
+	return &Builder{Mesh: mesh, Comp: hlo.NewComputation(name)}
+}
+
+// Parameter declares a sharded input. The HLO parameter carries the
+// local (per-device) shape.
+func (b *Builder) Parameter(name string, logical []int, s Sharding) *Value {
+	if err := s.Validate(logical, b.Mesh); err != nil {
+		panic(err)
+	}
+	local := s.ShardShape(logical, b.Mesh)
+	in := b.Comp.Parameter(b.nextParam, name, local)
+	b.nextParam++
+	return &Value{Instr: in, Logical: append([]int(nil), logical...), Sharding: s}
+}
+
+// AllGather unshards dimension dim of v by gathering along its mesh
+// axis: the inserted subgroup AllGather is exactly the collective the
+// overlap pass later decomposes.
+func (b *Builder) AllGather(v *Value, dim int) *Value {
+	axis := v.Sharding.DimAxis(dim)
+	if axis == Replicated {
+		panic(fmt.Sprintf("partition: AllGather on replicated dim %d of %s", dim, v.Instr.Name))
+	}
+	if v.IsPartial() {
+		panic(fmt.Sprintf("partition: AllGather on partial value %s; reduce first", v.Instr.Name))
+	}
+	groups := b.Mesh.AxisGroups(axis)
+	out := b.Comp.AllGather(v.Instr, dim, groups)
+	return &Value{Instr: out, Logical: v.Logical, Sharding: v.Sharding.WithDim(dim, Replicated)}
+}
+
+// Einsum lowers a logical einsum onto the local shards, propagating the
+// operand shardings to the output:
+//
+//   - an output label sharded in an operand stays sharded on that axis;
+//   - a contracted label sharded in BOTH operands on the same axis makes
+//     the output a partial sum over that axis (to be resolved by
+//     ReduceScatter or AllReduce);
+//   - a contracted label sharded in only one operand is an error — the
+//     caller must AllGather it first, which is precisely the structure
+//     the paper's partitioning strategies produce.
+func (b *Builder) Einsum(spec string, lhs, rhs *Value) *Value {
+	parsed, err := tensor.ParseEinsum(spec)
+	if err != nil {
+		panic(err)
+	}
+	if len(parsed.Inputs) != 2 {
+		panic(fmt.Sprintf("partition: einsum %q must have two operands", spec))
+	}
+	if lhs.IsPartial() || rhs.IsPartial() {
+		panic(fmt.Sprintf("partition: einsum %q over partial operand; reduce first", spec))
+	}
+
+	// Label → mesh axis for each operand.
+	labelAxis := func(v *Value, labels string) map[byte]int {
+		m := map[byte]int{}
+		for i := 0; i < len(labels); i++ {
+			if a := v.Sharding.DimAxis(i); a != Replicated {
+				m[labels[i]] = a
+			}
+		}
+		return m
+	}
+	la := labelAxis(lhs, parsed.Inputs[0])
+	ra := labelAxis(rhs, parsed.Inputs[1])
+
+	var partial []int
+	for i := 0; i < len(parsed.ContractedLabels()); i++ {
+		label := parsed.ContractedLabels()[i]
+		axL, okL := la[label]
+		axR, okR := ra[label]
+		switch {
+		case okL && okR:
+			if axL != axR {
+				panic(fmt.Sprintf("partition: einsum %q contracts label %q sharded on different axes %d/%d", spec, label, axL, axR))
+			}
+			partial = append(partial, axL)
+		case okL || okR:
+			panic(fmt.Sprintf("partition: einsum %q contracts label %q sharded on one operand only; AllGather it first", spec, label))
+		}
+	}
+
+	outSharding := ReplicatedSharding(len(parsed.Output))
+	for i := 0; i < len(parsed.Output); i++ {
+		label := parsed.Output[i]
+		axL, okL := la[label]
+		axR, okR := ra[label]
+		switch {
+		case okL && okR:
+			if axL != axR {
+				panic(fmt.Sprintf("partition: einsum %q batch label %q sharded on different axes", spec, label))
+			}
+			outSharding.Axes[i] = axL
+		case okL:
+			outSharding.Axes[i] = axL
+		case okR:
+			outSharding.Axes[i] = axR
+		}
+	}
+
+	logical, err := parsed.OutputShape(lhs.Logical, rhs.Logical)
+	if err != nil {
+		panic(err)
+	}
+	out := b.Comp.Einsum(spec, lhs.Instr, rhs.Instr)
+	return &Value{Instr: out, Logical: logical, Sharding: outSharding, Partial: partial}
+}
+
+// ReduceScatter resolves the partial sum over axis and simultaneously
+// shards dimension dim along it — the producer-side collective the
+// overlap pass decomposes (Fig 3's subgroup ReduceScatter).
+func (b *Builder) ReduceScatter(v *Value, dim, axis int) *Value {
+	if !removeAxis(&v.Partial, axis) {
+		panic(fmt.Sprintf("partition: ReduceScatter over axis %d but %s is not partial over it", axis, v.Instr.Name))
+	}
+	if v.Sharding.DimAxis(dim) != Replicated {
+		panic(fmt.Sprintf("partition: ReduceScatter onto already-sharded dim %d of %s", dim, v.Instr.Name))
+	}
+	groups := b.Mesh.AxisGroups(axis)
+	out := b.Comp.ReduceScatter(v.Instr, dim, groups)
+	return &Value{
+		Instr:    out,
+		Logical:  v.Logical,
+		Sharding: v.Sharding.WithDim(dim, axis),
+		Partial:  append([]int(nil), v.Partial...),
+	}
+}
+
+// AllReduce resolves the partial sum over axis, leaving the sharding
+// unchanged — the Megatron-style alternative to ReduceScatter.
+func (b *Builder) AllReduce(v *Value, axis int) *Value {
+	if !removeAxis(&v.Partial, axis) {
+		panic(fmt.Sprintf("partition: AllReduce over axis %d but %s is not partial over it", axis, v.Instr.Name))
+	}
+	groups := b.Mesh.AxisGroups(axis)
+	out := b.Comp.AllReduce(v.Instr, groups)
+	return &Value{
+		Instr:    out,
+		Logical:  v.Logical,
+		Sharding: v.Sharding,
+		Partial:  append([]int(nil), v.Partial...),
+	}
+}
+
+// AllToAll re-shards v from dimension from to dimension to along the
+// given mesh axis (the mixture-of-experts dispatch pattern): dimension
+// from becomes sharded on the axis, dimension to becomes replicated.
+func (b *Builder) AllToAll(v *Value, from, to, axis int) *Value {
+	if v.Sharding.DimAxis(to) != axis {
+		panic(fmt.Sprintf("partition: AllToAll expects dim %d of %s sharded on axis %d", to, v.Instr.Name, axis))
+	}
+	if v.Sharding.DimAxis(from) != Replicated {
+		panic(fmt.Sprintf("partition: AllToAll expects dim %d of %s replicated", from, v.Instr.Name))
+	}
+	groups := b.Mesh.AxisGroups(axis)
+	out := b.Comp.AllToAll(v.Instr, from, to, groups)
+	// Logically the sharding moves from "to" to "from": the local shard
+	// of "from" shrinks while "to" fills out. (Block ordering along "to"
+	// follows group order, matching UnshardTensor's layout.)
+	s := v.Sharding.WithDim(to, Replicated).WithDim(from, axis)
+	return &Value{Instr: out, Logical: v.Logical, Sharding: s}
+}
+
+// RelayoutAllToAll emits an activation relayout: a same-dimension
+// AllToAll along the given mesh axis on the value's dimension sharded by
+// that axis (or dimension 0 when none is). It models the token
+// redistribution of mixture-of-experts dispatch/combine and the T5
+// backward relayouts — collectives with the right cost that the overlap
+// technique cannot decompose. Sharding metadata is unchanged (shard
+// contents permute within the dimension).
+func (b *Builder) RelayoutAllToAll(v *Value, axis int) *Value {
+	dim := 0
+	for i, a := range v.Sharding.Axes {
+		if a == axis {
+			dim = i
+		}
+	}
+	groups := b.Mesh.AxisGroups(axis)
+	out := b.Comp.AllToAll(v.Instr, dim, dim, groups)
+	return &Value{Instr: out, Logical: v.Logical, Sharding: v.Sharding, Partial: append([]int(nil), v.Partial...)}
+}
+
+// Add element-wise adds two identically sharded values.
+func (b *Builder) Add(x, y *Value) *Value {
+	if x.Sharding.String() != y.Sharding.String() || x.IsPartial() != y.IsPartial() {
+		panic("partition: Add over differently sharded values")
+	}
+	out := b.Comp.Add(x.Instr, y.Instr)
+	return &Value{Instr: out, Logical: x.Logical, Sharding: x.Sharding, Partial: append([]int(nil), x.Partial...)}
+}
+
+func removeAxis(axes *[]int, axis int) bool {
+	for i, a := range *axes {
+		if a == axis {
+			*axes = append((*axes)[:i], (*axes)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,329 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+	"overlap/internal/topology"
+)
+
+func TestShardingBasics(t *testing.T) {
+	mesh := topology.NewTorus2D(2, 4)
+	s := OnDims(2, []int{0, 1}, []int{0, 1})
+	if s.String() != "{ax0,ax1}" {
+		t.Fatalf("String = %q", s.String())
+	}
+	local := s.ShardShape([]int{8, 16}, mesh)
+	if local[0] != 4 || local[1] != 4 {
+		t.Fatalf("ShardShape = %v, want [4 4]", local)
+	}
+	if ReplicatedSharding(2).String() != "{*,*}" {
+		t.Fatal("replicated string wrong")
+	}
+	if !ReplicatedSharding(3).IsReplicated() || s.IsReplicated() {
+		t.Fatal("IsReplicated wrong")
+	}
+}
+
+func TestShardingValidate(t *testing.T) {
+	mesh := topology.NewTorus2D(2, 4)
+	if err := OnDim(2, 0, 0).Validate([]int{8, 8}, mesh); err != nil {
+		t.Fatal(err)
+	}
+	if err := OnDim(2, 0, 0).Validate([]int{7, 8}, mesh); err == nil {
+		t.Fatal("indivisible dim accepted")
+	}
+	if err := OnDim(2, 0, 5).Validate([]int{8, 8}, mesh); err == nil {
+		t.Fatal("unknown axis accepted")
+	}
+	if err := OnDims(2, []int{0, 1}, []int{0, 0}).Validate([]int{8, 8}, mesh); err == nil {
+		t.Fatal("axis sharding two dims accepted")
+	}
+	if err := OnDim(1, 0, 0).Validate([]int{8, 8}, mesh); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+}
+
+func TestShardUnshardRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mesh := topology.NewTorus2D(1+rng.Intn(3), 1+rng.Intn(3))
+		// Divisible by both axis sizes so every tested sharding is valid.
+		rows := mesh.Dim(0) * mesh.Dim(1) * (1 + rng.Intn(3))
+		cols := mesh.Dim(0) * mesh.Dim(1) * (1 + rng.Intn(3))
+		full := tensor.Rand(rng, rows, cols)
+		shardings := []Sharding{
+			ReplicatedSharding(2),
+			OnDim(2, 0, 0),
+			OnDim(2, 1, 1),
+			OnDims(2, []int{0, 1}, []int{0, 1}),
+			OnDims(2, []int{0, 1}, []int{1, 0}),
+		}
+		for _, s := range shardings {
+			shards := ShardTensor(full, s, mesh)
+			back := UnshardTensor(shards, s, full.Shape(), mesh)
+			if !back.Equal(full) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardTensorReplicatedDimCopies(t *testing.T) {
+	mesh := topology.NewRing(2)
+	full := tensor.Iota(4, 2)
+	shards := ShardTensor(full, ReplicatedSharding(2), mesh)
+	if !shards[0].Equal(full) || !shards[1].Equal(full) {
+		t.Fatal("replicated sharding must copy the full tensor")
+	}
+}
+
+func TestUnshardDetectsDivergence(t *testing.T) {
+	mesh := topology.NewRing(2)
+	a := tensor.Iota(2, 2)
+	b := tensor.Scale(tensor.Iota(2, 2), 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("diverged replicated shards not detected")
+		}
+	}()
+	UnshardTensor([]*tensor.Tensor{a, b}, ReplicatedSharding(2), []int{2, 2}, mesh)
+}
+
+// buildMLP1D lowers the Fig 2 strategy: one mesh axis, activations
+// sharded on batch, weights sharded on their first dimension and
+// AllGathered before each einsum.
+func buildMLP1D(mesh *topology.Mesh, b, f, h int) (*Builder, *Value, [3]*Value) {
+	bld := NewBuilder("mlp1d", mesh)
+	act := bld.Parameter("act", []int{b, f}, OnDim(2, 0, 0))
+	w1 := bld.Parameter("w1", []int{f, h}, OnDim(2, 0, 0))
+	w2 := bld.Parameter("w2", []int{h, f}, OnDim(2, 0, 0))
+	w1g := bld.AllGather(w1, 0)
+	h1 := bld.Einsum("bf,fh->bh", act, w1g)
+	w2g := bld.AllGather(w2, 0)
+	out := bld.Einsum("bh,hf->bf", h1, w2g)
+	return bld, out, [3]*Value{act, w1, w2}
+}
+
+func TestMLP1DMatchesLogical(t *testing.T) {
+	const n, B, F, H = 4, 8, 12, 16
+	mesh := topology.NewRing(n)
+	bld, out, params := buildMLP1D(mesh, B, F, H)
+	if err := bld.Comp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	actF := tensor.Rand(rng, B, F)
+	w1F := tensor.Rand(rng, F, H)
+	w2F := tensor.Rand(rng, H, F)
+	args := [][]*tensor.Tensor{
+		ShardTensor(actF, params[0].Sharding, mesh),
+		ShardTensor(w1F, params[1].Sharding, mesh),
+		ShardTensor(w2F, params[2].Sharding, mesh),
+	}
+	got, err := sim.Interpret(bld.Comp, n, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := tensor.Einsum("bh,hf->bf", tensor.Einsum("bf,fh->bh", actF, w1F), w2F)
+	full := UnshardTensor(got, out.Sharding, out.Logical, mesh)
+	if !full.AllClose(logical, 1e-10) {
+		t.Fatalf("1D partitioned MLP differs from logical result by %v", full.MaxDifference(logical))
+	}
+}
+
+// buildMLP2D lowers the Fig 3 strategy on an [M,N] mesh: activations
+// [B,F] sharded (B:y, F:x); weights 2D-sharded; both einsum inputs
+// AllGathered along different axes; the second einsum contracts a
+// both-sharded dimension and ReduceScatters the partial result along x.
+func buildMLP2D(mesh *topology.Mesh, b, f, h int) (*Builder, *Value, [3]*Value) {
+	const x, y = 0, 1
+	bld := NewBuilder("mlp2d", mesh)
+	act := bld.Parameter("act", []int{b, f}, OnDims(2, []int{0, 1}, []int{y, x}))
+	w1 := bld.Parameter("w1", []int{f, h}, OnDims(2, []int{0, 1}, []int{y, x}))
+	w2 := bld.Parameter("w2", []int{h, f}, OnDim(2, 0, x))
+
+	actG := bld.AllGather(act, 1)            // unshard F (was on x)
+	w1g := bld.AllGather(w1, 0)              // unshard F (was on y)
+	h1 := bld.Einsum("bf,fh->bh", actG, w1g) // [B/Y, H/X], sharded (B:y, H:x)
+
+	// Second einsum contracts H, which both operands shard on x → the
+	// result is a partial sum over x, resolved by a subgroup
+	// ReduceScatter along x that also shards F (Fig 3).
+	part := bld.Einsum("bh,hf->bf", h1, w2)
+	out := bld.ReduceScatter(part, 1, x)
+	return bld, out, [3]*Value{act, w1, w2}
+}
+
+func TestMLP2DMatchesLogical(t *testing.T) {
+	const M, N, B, F, H = 2, 3, 6, 12, 4
+	mesh := topology.NewTorus2D(M, N)
+	bld, out, params := buildMLP2D(mesh, B, F, H)
+	if err := bld.Comp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	actF := tensor.Rand(rng, B, F)
+	w1F := tensor.Rand(rng, F, H)
+	w2F := tensor.Rand(rng, H, F)
+	args := [][]*tensor.Tensor{
+		ShardTensor(actF, params[0].Sharding, mesh),
+		ShardTensor(w1F, params[1].Sharding, mesh),
+		ShardTensor(w2F, params[2].Sharding, mesh),
+	}
+	got, err := sim.Interpret(bld.Comp, mesh.NumDevices(), args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := tensor.Einsum("bh,hf->bf", tensor.Einsum("bf,fh->bh", actF, w1F), w2F)
+	full := UnshardTensor(got, out.Sharding, out.Logical, mesh)
+	if !full.AllClose(logical, 1e-10) {
+		t.Fatalf("2D partitioned MLP differs from logical result by %v", full.MaxDifference(logical))
+	}
+}
+
+func TestEinsumPropagationPartial(t *testing.T) {
+	mesh := topology.NewRing(4)
+	bld := NewBuilder("partial", mesh)
+	a := bld.Parameter("a", []int{8, 8}, OnDim(2, 1, 0))
+	b := bld.Parameter("b", []int{8, 8}, OnDim(2, 0, 0))
+	p := bld.Einsum("ik,kj->ij", a, b)
+	if !p.IsPartial() || p.Partial[0] != 0 {
+		t.Fatalf("both-sharded contraction must be partial, got %+v", p)
+	}
+	if !p.Sharding.IsReplicated() {
+		t.Fatalf("output sharding = %v, want replicated", p.Sharding)
+	}
+	red := bld.AllReduce(p, 0)
+	if red.IsPartial() {
+		t.Fatal("AllReduce did not clear partial state")
+	}
+}
+
+func TestEinsumPropagationErrors(t *testing.T) {
+	mesh := topology.NewRing(4)
+	cases := []func(b *Builder){
+		// Contracted label sharded on one side only.
+		func(b *Builder) {
+			a := b.Parameter("a", []int{8, 8}, OnDim(2, 1, 0))
+			c := b.Parameter("b", []int{8, 8}, ReplicatedSharding(2))
+			b.Einsum("ik,kj->ij", a, c)
+		},
+		// Partial operand fed into another einsum.
+		func(b *Builder) {
+			a := b.Parameter("a", []int{8, 8}, OnDim(2, 1, 0))
+			c := b.Parameter("b", []int{8, 8}, OnDim(2, 0, 0))
+			p := b.Einsum("ik,kj->ij", a, c)
+			d := b.Parameter("d", []int{8, 8}, ReplicatedSharding(2))
+			b.Einsum("ik,kj->ij", p, d)
+		},
+		// AllGather of a replicated dim.
+		func(b *Builder) {
+			a := b.Parameter("a", []int{8, 8}, ReplicatedSharding(2))
+			b.AllGather(a, 0)
+		},
+		// ReduceScatter without partial state.
+		func(b *Builder) {
+			a := b.Parameter("a", []int{8, 8}, ReplicatedSharding(2))
+			b.ReduceScatter(a, 0, 0)
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f(NewBuilder("err", mesh))
+		}()
+	}
+}
+
+func TestAllToAllReshard(t *testing.T) {
+	// Move sharding from dim 1 to dim 0 with an AllToAll, then verify
+	// against ShardTensor of the target sharding.
+	const n = 2
+	mesh := topology.NewRing(n)
+	bld := NewBuilder("a2a", mesh)
+	v := bld.Parameter("v", []int{4, 4}, OnDim(2, 1, 0))
+	moved := bld.AllToAll(v, 0, 1, 0)
+	if moved.Sharding.DimAxis(0) != 0 || moved.Sharding.DimAxis(1) != Replicated {
+		t.Fatalf("resharded = %v", moved.Sharding)
+	}
+	full := tensor.Iota(4, 4)
+	args := [][]*tensor.Tensor{ShardTensor(full, v.Sharding, mesh)}
+	got, err := sim.Interpret(bld.Comp, n, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ShardTensor(full, moved.Sharding, mesh)
+	for d := 0; d < n; d++ {
+		if !got[d].Equal(want[d]) {
+			t.Fatalf("device %d after AllToAll = %v, want %v", d, got[d].Data(), want[d].Data())
+		}
+	}
+}
+
+// TestRandomizedMLPStrategies sweeps random mesh shapes and layer sizes
+// through both partitioning strategies and checks the partitioned
+// program against the logical two-layer MLP — the generalization of the
+// fixed Fig 2 / Fig 3 tests.
+func TestRandomizedMLPStrategies(t *testing.T) {
+	for seed := int64(300); seed < 320; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+
+		// 1D strategy on a random ring.
+		n := 2 + rng.Intn(5)
+		b := n * (1 + rng.Intn(3))
+		f := n * (1 + rng.Intn(3))
+		h := n * (1 + rng.Intn(3))
+		mesh := topology.NewRing(n)
+		bld, out, params := buildMLP1D(mesh, b, f, h)
+		checkAgainstLogical(t, bld, out, params, mesh, b, f, h, seed)
+
+		// 2D strategy on a random torus.
+		mx := 1 + rng.Intn(3)
+		my := 1 + rng.Intn(3)
+		mesh2 := topology.NewTorus2D(mx, my)
+		lcm := mx * my
+		b2 := my * (1 + rng.Intn(2))
+		f2 := lcm * (1 + rng.Intn(2))
+		h2 := mx * (1 + rng.Intn(2))
+		bld2, out2, params2 := buildMLP2D(mesh2, b2, f2, h2)
+		checkAgainstLogical(t, bld2, out2, params2, mesh2, b2, f2, h2, seed)
+	}
+}
+
+func checkAgainstLogical(t *testing.T, bld *Builder, out *Value, params [3]*Value, mesh *topology.Mesh, b, f, h int, seed int64) {
+	t.Helper()
+	if err := bld.Comp.Verify(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1000))
+	actF := tensor.Rand(rng, b, f)
+	w1F := tensor.Rand(rng, f, h)
+	w2F := tensor.Rand(rng, h, f)
+	args := [][]*tensor.Tensor{
+		ShardTensor(actF, params[0].Sharding, mesh),
+		ShardTensor(w1F, params[1].Sharding, mesh),
+		ShardTensor(w2F, params[2].Sharding, mesh),
+	}
+	got, err := sim.Interpret(bld.Comp, mesh.NumDevices(), args)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	logical := tensor.Einsum("bh,hf->bf", tensor.Einsum("bf,fh->bh", actF, w1F), w2F)
+	full := UnshardTensor(got, out.Sharding, out.Logical, mesh)
+	if !full.AllClose(logical, 1e-9) {
+		t.Fatalf("seed %d: partitioned MLP differs by %v (mesh %v, b=%d f=%d h=%d)",
+			seed, full.MaxDifference(logical), mesh, b, f, h)
+	}
+}

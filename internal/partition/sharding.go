@@ -1,0 +1,210 @@
+// Package partition implements the intra-layer (tensor) model
+// parallelism substrate of the reproduction: sharding specifications
+// over a logical device mesh, einsum sharding propagation, and the
+// collective insertion that produces the AllGather→Einsum and
+// Einsum→ReduceScatter patterns (paper §2.2, Figs 2–3) that the overlap
+// pass in internal/core then rewrites.
+//
+// The package follows GSPMD's data model — every tensor dimension is
+// either replicated or sharded along one mesh axis, and einsum outputs
+// may additionally be "partial sums" pending a reduction over mesh axes
+// — but lowers a hand-annotated graph rather than running a full
+// propagation fixpoint: the partitioning strategies of interest are the
+// paper's, which the model builders state explicitly.
+package partition
+
+import (
+	"fmt"
+
+	"overlap/internal/tensor"
+	"overlap/internal/topology"
+)
+
+// Replicated marks a tensor dimension as not sharded.
+const Replicated = -1
+
+// Sharding maps each tensor dimension to the mesh axis it is partitioned
+// along, or Replicated.
+type Sharding struct {
+	Axes []int
+}
+
+// ReplicatedSharding returns a fully replicated sharding of the given
+// rank.
+func ReplicatedSharding(rank int) Sharding {
+	axes := make([]int, rank)
+	for i := range axes {
+		axes[i] = Replicated
+	}
+	return Sharding{Axes: axes}
+}
+
+// OnDim returns a sharding of the given rank with exactly dimension dim
+// sharded along the given mesh axis.
+func OnDim(rank, dim, axis int) Sharding {
+	s := ReplicatedSharding(rank)
+	s.Axes[dim] = axis
+	return s
+}
+
+// OnDims returns a sharding with dims[i] sharded along axes[i].
+func OnDims(rank int, dims, axes []int) Sharding {
+	if len(dims) != len(axes) {
+		panic("partition: OnDims needs matching dims and axes")
+	}
+	s := ReplicatedSharding(rank)
+	for i, d := range dims {
+		s.Axes[d] = axes[i]
+	}
+	return s
+}
+
+// Rank returns the tensor rank the sharding describes.
+func (s Sharding) Rank() int { return len(s.Axes) }
+
+// DimAxis returns the mesh axis dimension dim is sharded on, or
+// Replicated.
+func (s Sharding) DimAxis(dim int) int { return s.Axes[dim] }
+
+// IsReplicated reports whether no dimension is sharded.
+func (s Sharding) IsReplicated() bool {
+	for _, a := range s.Axes {
+		if a != Replicated {
+			return false
+		}
+	}
+	return true
+}
+
+// WithDim returns a copy with dimension dim re-assigned to axis (or
+// Replicated).
+func (s Sharding) WithDim(dim, axis int) Sharding {
+	out := Sharding{Axes: append([]int(nil), s.Axes...)}
+	out.Axes[dim] = axis
+	return out
+}
+
+// Validate checks the sharding against a logical shape and mesh: sharded
+// dimensions must be divisible by their axis size, and no mesh axis may
+// shard two dimensions.
+func (s Sharding) Validate(logical []int, mesh *topology.Mesh) error {
+	if len(s.Axes) != len(logical) {
+		return fmt.Errorf("partition: sharding rank %d does not match shape %v", len(s.Axes), logical)
+	}
+	used := map[int]bool{}
+	for dim, axis := range s.Axes {
+		if axis == Replicated {
+			continue
+		}
+		if axis < 0 || axis >= mesh.Rank() {
+			return fmt.Errorf("partition: dim %d sharded on unknown mesh axis %d", dim, axis)
+		}
+		if used[axis] {
+			return fmt.Errorf("partition: mesh axis %d shards two dimensions", axis)
+		}
+		used[axis] = true
+		if logical[dim]%mesh.Dim(axis) != 0 {
+			return fmt.Errorf("partition: dim %d size %d not divisible by mesh axis %d size %d",
+				dim, logical[dim], axis, mesh.Dim(axis))
+		}
+	}
+	return nil
+}
+
+// ShardShape returns the per-device (local) shape of a logical tensor
+// under this sharding.
+func (s Sharding) ShardShape(logical []int, mesh *topology.Mesh) []int {
+	if err := s.Validate(logical, mesh); err != nil {
+		panic(err)
+	}
+	out := append([]int(nil), logical...)
+	for dim, axis := range s.Axes {
+		if axis != Replicated {
+			out[dim] /= mesh.Dim(axis)
+		}
+	}
+	return out
+}
+
+// String renders the sharding as, e.g., "{x,*}" for dim 0 on axis "x".
+func (s Sharding) String() string {
+	out := "{"
+	for i, a := range s.Axes {
+		if i > 0 {
+			out += ","
+		}
+		if a == Replicated {
+			out += "*"
+		} else {
+			out += fmt.Sprintf("ax%d", a)
+		}
+	}
+	return out + "}"
+}
+
+// ShardTensor splits a full logical tensor into per-device local shards:
+// device d receives the block selected by its mesh coordinates along
+// each sharded dimension (replicated dimensions are not split).
+func ShardTensor(full *tensor.Tensor, s Sharding, mesh *topology.Mesh) []*tensor.Tensor {
+	if err := s.Validate(full.Shape(), mesh); err != nil {
+		panic(err)
+	}
+	n := mesh.NumDevices()
+	local := s.ShardShape(full.Shape(), mesh)
+	out := make([]*tensor.Tensor, n)
+	for d := 0; d < n; d++ {
+		coord := mesh.Coord(d)
+		starts := make([]int, full.Rank())
+		limits := make([]int, full.Rank())
+		for dim := range starts {
+			if axis := s.Axes[dim]; axis != Replicated {
+				starts[dim] = coord[axis] * local[dim]
+			}
+			limits[dim] = starts[dim] + local[dim]
+		}
+		out[d] = tensor.Slice(full, starts, limits)
+	}
+	return out
+}
+
+// UnshardTensor reassembles a full logical tensor from per-device
+// shards, the inverse of ShardTensor. Replicated copies must agree; it
+// panics if they do not (within exact equality), since disagreement
+// means the SPMD program diverged.
+func UnshardTensor(shards []*tensor.Tensor, s Sharding, logical []int, mesh *topology.Mesh) *tensor.Tensor {
+	if len(shards) != mesh.NumDevices() {
+		panic(fmt.Sprintf("partition: %d shards for %d devices", len(shards), mesh.NumDevices()))
+	}
+	full := tensor.New(logical...)
+	local := s.ShardShape(logical, mesh)
+	written := map[string]bool{}
+	for d := 0; d < mesh.NumDevices(); d++ {
+		coord := mesh.Coord(d)
+		starts := make([]int, len(logical))
+		for dim := range starts {
+			if axis := s.Axes[dim]; axis != Replicated {
+				starts[dim] = coord[axis] * local[dim]
+			}
+		}
+		key := fmt.Sprint(starts)
+		if written[key] {
+			// A replicated copy of an already-written block: verify.
+			existing := tensor.Slice(full, starts, addShapes(starts, local))
+			if !existing.Equal(shards[d]) {
+				panic(fmt.Sprintf("partition: replicated shards diverge at device %d", d))
+			}
+			continue
+		}
+		written[key] = true
+		full = tensor.DynamicUpdateSlice(full, shards[d], starts)
+	}
+	return full
+}
+
+func addShapes(a, b []int) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}

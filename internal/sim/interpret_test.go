@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/tensor"
+)
+
+func ring(n int) [][]int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return [][]int{g}
+}
+
+func TestInterpretAllGatherEinsum(t *testing.T) {
+	// Fig 2 pattern: act [B/N? kept whole here], weight sharded on F.
+	const n = 4
+	c := hlo.NewComputation("ag_einsum")
+	act := c.Parameter(0, "act", []int{3, 8})
+	w := c.Parameter(1, "w", []int{2, 5})
+	full := c.AllGather(w, 0, ring(n))
+	c.Einsum("bf,fh->bh", act, full)
+
+	rng := rand.New(rand.NewSource(1))
+	actT := tensor.Rand(rng, 3, 8)
+	wFull := tensor.Rand(rng, 8, 5)
+	shards := tensor.Split(wFull, 0, n)
+
+	got, err := Interpret(c, n, [][]*tensor.Tensor{{actT}, shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.Einsum("bf,fh->bh", actT, wFull)
+	for d := 0; d < n; d++ {
+		if !got[d].AllClose(want, 1e-12) {
+			t.Fatalf("device %d result differs from logical einsum", d)
+		}
+	}
+}
+
+func TestInterpretReduceScatter(t *testing.T) {
+	const n = 3
+	c := hlo.NewComputation("rs")
+	x := c.Parameter(0, "x", []int{6, 2})
+	c.ReduceScatter(x, 0, ring(n))
+
+	rng := rand.New(rand.NewSource(2))
+	ins := make([]*tensor.Tensor, n)
+	sum := tensor.New(6, 2)
+	for d := range ins {
+		ins[d] = tensor.Rand(rng, 6, 2)
+		sum = tensor.Add(sum, ins[d])
+	}
+	got, err := Interpret(c, n, [][]*tensor.Tensor{ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShards := tensor.Split(sum, 0, n)
+	for d := 0; d < n; d++ {
+		if !got[d].AllClose(wantShards[d], 1e-12) {
+			t.Fatalf("device %d reduce-scatter shard wrong", d)
+		}
+	}
+}
+
+func TestInterpretAllReduceSubgroups(t *testing.T) {
+	// 2x2 mesh, all-reduce along the fast axis: groups {0,1} and {2,3}.
+	c := hlo.NewComputation("ar")
+	x := c.Parameter(0, "x", []int{2})
+	c.AllReduce(x, [][]int{{0, 1}, {2, 3}})
+	ins := []*tensor.Tensor{
+		tensor.FromValues([]int{2}, []float64{1, 1}),
+		tensor.FromValues([]int{2}, []float64{2, 2}),
+		tensor.FromValues([]int{2}, []float64{10, 10}),
+		tensor.FromValues([]int{2}, []float64{20, 20}),
+	}
+	got, err := Interpret(c, 4, [][]*tensor.Tensor{ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].At(0) != 3 || got[1].At(0) != 3 {
+		t.Fatalf("group 0 sum = %v,%v want 3", got[0].At(0), got[1].At(0))
+	}
+	if got[2].At(0) != 30 || got[3].At(0) != 30 {
+		t.Fatalf("group 1 sum = %v,%v want 30", got[2].At(0), got[3].At(0))
+	}
+}
+
+func TestInterpretCollectivePermuteStartDone(t *testing.T) {
+	const n = 3
+	c := hlo.NewComputation("cp")
+	x := c.Parameter(0, "x", nil)
+	// Circular shift left.
+	pairs := []hlo.SourceTargetPair{{Source: 0, Target: 2}, {Source: 1, Target: 0}, {Source: 2, Target: 1}}
+	start := c.CollectivePermuteStart(x, pairs)
+	c.CollectivePermuteDone(start)
+
+	ins := []*tensor.Tensor{tensor.Scalar(10), tensor.Scalar(11), tensor.Scalar(12)}
+	got, err := Interpret(c, n, [][]*tensor.Tensor{ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].At() != 11 || got[1].At() != 12 || got[2].At() != 10 {
+		t.Fatalf("permute = %v %v %v", got[0].At(), got[1].At(), got[2].At())
+	}
+}
+
+func TestInterpretDynamicSlicePerDevice(t *testing.T) {
+	const n = 4
+	c := hlo.NewComputation("ds")
+	x := c.Parameter(0, "x", []int{8})
+	// Device pid takes slice [pid*2 : pid*2+2].
+	c.DynamicSlice(x, []hlo.DynOffset{{PIDFactor: 1, Mod: n, Scale: 2}}, []int{2})
+	full := tensor.Iota(8)
+	got, err := Interpret(c, n, [][]*tensor.Tensor{{full}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < n; d++ {
+		if got[d].At(0) != float64(2*d) || got[d].At(1) != float64(2*d+1) {
+			t.Fatalf("device %d slice = %v", d, got[d].Data())
+		}
+	}
+}
+
+func TestInterpretFusionWithOffsets(t *testing.T) {
+	const n = 2
+	body := hlo.NewComputation("body")
+	p := body.Parameter(0, "p", []int{4})
+	s := body.DynamicSlice(p, []hlo.DynOffset{{PIDFactor: 1, Mod: n, Scale: 2}}, []int{2})
+	body.Add(s, s)
+
+	c := hlo.NewComputation("main")
+	x := c.Parameter(0, "x", []int{4})
+	c.Fusion("f", body, x)
+	got, err := Interpret(c, n, [][]*tensor.Tensor{{tensor.Iota(4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].At(0) != 0 || got[0].At(1) != 2 {
+		t.Fatalf("device 0 fusion = %v", got[0].Data())
+	}
+	if got[1].At(0) != 4 || got[1].At(1) != 6 {
+		t.Fatalf("device 1 fusion = %v", got[1].Data())
+	}
+}
+
+func TestInterpretAllToAll(t *testing.T) {
+	const n = 2
+	c := hlo.NewComputation("a2a")
+	x := c.Parameter(0, "x", []int{2, 1})
+	c.AllToAll(x, 0, 0, ring(n))
+	ins := []*tensor.Tensor{
+		tensor.FromValues([]int{2, 1}, []float64{1, 2}),
+		tensor.FromValues([]int{2, 1}, []float64{3, 4}),
+	}
+	got, err := Interpret(c, n, [][]*tensor.Tensor{ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].At(0, 0) != 1 || got[0].At(1, 0) != 3 {
+		t.Fatalf("a2a device 0 = %v", got[0].Data())
+	}
+}
+
+func TestInterpretArgValidation(t *testing.T) {
+	c := hlo.NewComputation("args")
+	c.Parameter(0, "x", []int{2})
+	if _, err := Interpret(c, 2, nil); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	if _, err := Interpret(c, 2, [][]*tensor.Tensor{{tensor.Iota(3)}}); err == nil {
+		t.Fatal("wrong-shape arg accepted")
+	}
+	if _, err := Interpret(c, 2, [][]*tensor.Tensor{{tensor.Iota(2), tensor.Iota(2), tensor.Iota(2)}}); err == nil {
+		t.Fatal("wrong arg multiplicity accepted")
+	}
+	if _, err := Interpret(c, 0, [][]*tensor.Tensor{{tensor.Iota(2)}}); err == nil {
+		t.Fatal("zero devices accepted")
+	}
+}
+
+func TestInterpretReplicatedParameterBroadcasts(t *testing.T) {
+	c := hlo.NewComputation("bcast")
+	x := c.Parameter(0, "x", []int{2})
+	c.Add(x, x)
+	got, err := Interpret(c, 3, [][]*tensor.Tensor{{tensor.Iota(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 3; d++ {
+		if got[d].At(1) != 2 {
+			t.Fatalf("device %d = %v", d, got[d].Data())
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderTimeline draws the traced execution as a fixed-width ASCII
+// gantt: one compute row and one transfer row per device, with time
+// bucketed into width columns. Legend:
+//
+//	#  compute (einsums, fusions, element-wise)
+//	C  blocking collective / exposed collective wait
+//	.  stall waiting for an asynchronous transfer
+//	=  asynchronous transfer in flight (transfer-engine track)
+//
+// Overlap is visible directly: '=' under '#' is hidden communication;
+// '=' under '.' or 'C' is exposed.
+func RenderTimeline(events []TraceEvent, width int) string {
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	end := 0.0
+	maxDev := 0
+	for _, e := range events {
+		if f := e.TS + e.Dur; f > end {
+			end = f
+		}
+		if e.PID > maxDev {
+			maxDev = e.PID
+		}
+	}
+	if end == 0 {
+		return "(empty timeline)\n"
+	}
+	bucket := end / float64(width)
+
+	type track struct{ compute, transfer []byte }
+	rows := make([]track, maxDev+1)
+	for d := range rows {
+		rows[d] = track{
+			compute:  []byte(strings.Repeat(" ", width)),
+			transfer: []byte(strings.Repeat(" ", width)),
+		}
+	}
+	glyph := func(cat string) byte {
+		switch cat {
+		case "compute":
+			return '#'
+		case "collective":
+			return 'C'
+		case "stall":
+			return '.'
+		case "transfer":
+			return '='
+		}
+		return '?'
+	}
+	// Paint longer events first so short stalls stay visible on top.
+	sorted := append([]TraceEvent(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Dur > sorted[j].Dur })
+	for _, e := range sorted {
+		row := rows[e.PID].compute
+		if e.TID == traceTIDTransfer {
+			row = rows[e.PID].transfer
+		}
+		lo := int(e.TS / bucket)
+		hi := int((e.TS + e.Dur) / bucket)
+		if hi >= width {
+			hi = width - 1
+		}
+		for x := lo; x <= hi && x < width; x++ {
+			row[x] = glyph(e.Cat)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time: 0 .. %.3f ms  (one column = %.1f us)\n", end/1e3, bucket)
+	b.WriteString("legend: # compute   C collective/wait   . stall   = transfer in flight\n")
+	for d := range rows {
+		fmt.Fprintf(&b, "dev %2d comp |%s|\n", d, rows[d].compute)
+		fmt.Fprintf(&b, "       xfer |%s|\n", rows[d].transfer)
+	}
+	return b.String()
+}

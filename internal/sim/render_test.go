@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"overlap/internal/machine"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	_, events, err := SimulateTrace(traceSite(), 2, machine.TPUv4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTimeline(events, 80)
+	if !strings.Contains(out, "dev  0 comp") || !strings.Contains(out, "xfer") {
+		t.Fatalf("timeline missing device rows:\n%s", out)
+	}
+	for _, glyph := range []string{"#", "=", "C"} {
+		if !strings.Contains(out, glyph) {
+			t.Errorf("timeline missing %q glyphs:\n%s", glyph, out)
+		}
+	}
+	// Every row must be exactly the requested width between the bars.
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			j := strings.LastIndexByte(line, '|')
+			if j-i-1 != 80 {
+				t.Fatalf("row width %d, want 80: %q", j-i-1, line)
+			}
+		}
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	if out := RenderTimeline(nil, 80); !strings.Contains(out, "no events") {
+		t.Fatalf("empty render = %q", out)
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+)
+
+// TraceEvent is one complete ("X") event in the Chrome trace format
+// (chrome://tracing, Perfetto): timestamps and durations are in
+// microseconds, pid groups a device, tid separates the compute pipe
+// from the transfer engine.
+type TraceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+const (
+	traceTIDCompute  = 0
+	traceTIDTransfer = 1
+
+	// traceMaxDevices bounds the recorded devices; SPMD programs are
+	// symmetric, so a handful of adjacent devices shows the whole
+	// picture without gigabyte traces.
+	traceMaxDevices = 8
+)
+
+// SimulateTrace runs the timing simulation and additionally returns a
+// per-device event timeline for the first few devices: compute spans,
+// blocking collective spans, asynchronous transfer spans (on the
+// transfer-engine track) and exposed stalls.
+func SimulateTrace(c *hlo.Computation, numDevices int, spec machine.Spec) (Breakdown, []TraceEvent, error) {
+	if err := spec.Validate(); err != nil {
+		return Breakdown{}, nil, err
+	}
+	if numDevices <= 0 {
+		return Breakdown{}, nil, fmt.Errorf("sim: need at least one device")
+	}
+	st := &simState{
+		spec:         spec,
+		numDevices:   numDevices,
+		now:          make([]float64, numDevices),
+		compute:      make([]float64, numDevices),
+		wire:         make([]float64, numDevices),
+		exposed:      make([]float64, numDevices),
+		outstanding:  make([][]float64, numDevices),
+		linkFree:     map[[2]int]float64{},
+		arrivals:     map[*hlo.Instruction][]float64{},
+		traceDevices: numDevices,
+	}
+	if st.traceDevices > traceMaxDevices {
+		st.traceDevices = traceMaxDevices
+	}
+	for _, in := range c.Instructions() {
+		if err := st.exec(in); err != nil {
+			return Breakdown{}, nil, err
+		}
+	}
+	var b Breakdown
+	for d := 0; d < numDevices; d++ {
+		if st.now[d] > b.StepTime {
+			b.StepTime = st.now[d]
+		}
+		b.Compute += st.compute[d] / float64(numDevices)
+		b.CollectiveWire += st.wire[d] / float64(numDevices)
+		b.Exposed += st.exposed[d] / float64(numDevices)
+	}
+	b.AsyncTransfers = st.asyncSends
+	b.PeakInFlight = st.peakInFlight
+	return b, st.trace, nil
+}
+
+// TraceJSON renders the events as a Chrome trace file.
+func TraceJSON(events []TraceEvent) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}{events}, "", " ")
+}
+
+// record appends a span for device d when tracing is on and the device
+// is within the recorded window.
+func (st *simState) record(d int, tid int, cat, name string, start, dur float64) {
+	if d >= st.traceDevices || dur <= 0 {
+		return
+	}
+	st.trace = append(st.trace, TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS: start * 1e6, Dur: dur * 1e6,
+		PID: d, TID: tid,
+	})
+}

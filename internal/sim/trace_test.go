@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+)
+
+func traceSite() *hlo.Computation {
+	c := hlo.NewComputation("trace")
+	buf := c.Parameter(0, "buf", []int{1 << 20})
+	a := c.Parameter(1, "a", []int{1024, 1024})
+	b := c.Parameter(2, "b", []int{1024, 1024})
+	start := c.CollectivePermuteStart(buf, []hlo.SourceTargetPair{{Source: 0, Target: 1}, {Source: 1, Target: 0}})
+	ein := c.Einsum("mk,kn->mn", a, b)
+	_ = ein
+	done := c.CollectivePermuteDone(start)
+	c.AllGather(done, 0, [][]int{{0, 1}})
+	return c
+}
+
+func TestSimulateTraceEvents(t *testing.T) {
+	spec := machine.TPUv4()
+	bd, events, err := SimulateTrace(traceSite(), 2, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	cats := map[string]int{}
+	for _, e := range events {
+		cats[e.Cat]++
+		if e.Dur <= 0 || e.TS < 0 {
+			t.Fatalf("degenerate event %+v", e)
+		}
+		if e.PID < 0 || e.PID >= 2 {
+			t.Fatalf("event on unknown device %+v", e)
+		}
+		if e.Ph != "X" {
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	for _, want := range []string{"compute", "transfer", "collective"} {
+		if cats[want] == 0 {
+			t.Errorf("no %q events recorded (got %v)", want, cats)
+		}
+	}
+	// The breakdown must match the plain simulation.
+	plain, err := Simulate(traceSite(), 2, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.StepTime != bd.StepTime {
+		t.Fatalf("tracing changed the simulation: %v vs %v", bd.StepTime, plain.StepTime)
+	}
+}
+
+func TestTraceJSONWellFormed(t *testing.T) {
+	_, events, err := SimulateTrace(traceSite(), 2, machine.TPUv4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := TraceJSON(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	if len(decoded.TraceEvents) != len(events) {
+		t.Fatalf("lost events in JSON: %d vs %d", len(decoded.TraceEvents), len(events))
+	}
+}
+
+func TestTraceDeviceWindow(t *testing.T) {
+	// Many devices: only the first traceMaxDevices are recorded.
+	c := hlo.NewComputation("many")
+	a := c.Parameter(0, "a", []int{128, 128})
+	c.Einsum("mk,kn->mn", a, a)
+	_, events, err := SimulateTrace(c, 32, machine.TPUv4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.PID >= traceMaxDevices {
+			t.Fatalf("event recorded for device %d beyond the window", e.PID)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EinsumSpec is a parsed Einstein-summation specification such as
+// "bf,fh->bh". Each operand is described by a string of single-letter
+// dimension labels; labels absent from the output are contracted
+// (summed). A label may not repeat within a single operand.
+type EinsumSpec struct {
+	Inputs []string // one label string per operand
+	Output string   // label string of the result
+}
+
+// ParseEinsum parses a spec of the form "lhs,rhs->out" (or a
+// single-operand "in->out").
+func ParseEinsum(spec string) (EinsumSpec, error) {
+	parts := strings.Split(spec, "->")
+	if len(parts) != 2 {
+		return EinsumSpec{}, fmt.Errorf("einsum: spec %q must contain exactly one '->'", spec)
+	}
+	s := EinsumSpec{Inputs: strings.Split(parts[0], ","), Output: parts[1]}
+	if len(s.Inputs) < 1 || len(s.Inputs) > 2 {
+		return EinsumSpec{}, fmt.Errorf("einsum: spec %q must have one or two operands", spec)
+	}
+	seenAnywhere := map[byte]bool{}
+	for _, in := range s.Inputs {
+		seenHere := map[byte]bool{}
+		for i := 0; i < len(in); i++ {
+			c := in[i]
+			if !isLabel(c) {
+				return EinsumSpec{}, fmt.Errorf("einsum: invalid label %q in spec %q", c, spec)
+			}
+			if seenHere[c] {
+				return EinsumSpec{}, fmt.Errorf("einsum: repeated label %q within one operand of %q", c, spec)
+			}
+			seenHere[c] = true
+			seenAnywhere[c] = true
+		}
+	}
+	for i := 0; i < len(s.Output); i++ {
+		c := s.Output[i]
+		if !isLabel(c) {
+			return EinsumSpec{}, fmt.Errorf("einsum: invalid output label %q in spec %q", c, spec)
+		}
+		if !seenAnywhere[c] {
+			return EinsumSpec{}, fmt.Errorf("einsum: output label %q not present in any operand of %q", c, spec)
+		}
+		if strings.Count(s.Output, string(c)) > 1 {
+			return EinsumSpec{}, fmt.Errorf("einsum: repeated output label %q in %q", c, spec)
+		}
+	}
+	return s, nil
+}
+
+func isLabel(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// String reassembles the canonical spec text.
+func (s EinsumSpec) String() string {
+	return strings.Join(s.Inputs, ",") + "->" + s.Output
+}
+
+// ContractedLabels returns the labels summed away by the spec, in
+// first-appearance order.
+func (s EinsumSpec) ContractedLabels() string {
+	var out []byte
+	seen := map[byte]bool{}
+	for _, in := range s.Inputs {
+		for i := 0; i < len(in); i++ {
+			c := in[i]
+			if !seen[c] && !strings.ContainsRune(s.Output, rune(c)) {
+				out = append(out, c)
+			}
+			seen[c] = true
+		}
+	}
+	return string(out)
+}
+
+// BatchLabels returns labels that appear in every operand and in the
+// output (the einsum batch dimensions).
+func (s EinsumSpec) BatchLabels() string {
+	if len(s.Inputs) < 2 {
+		return ""
+	}
+	var out []byte
+	for i := 0; i < len(s.Inputs[0]); i++ {
+		c := s.Inputs[0][i]
+		if strings.ContainsRune(s.Inputs[1], rune(c)) && strings.ContainsRune(s.Output, rune(c)) {
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// OutputShape computes the result shape of applying the spec to operands
+// with the given shapes, validating label-size consistency.
+func (s EinsumSpec) OutputShape(shapes ...[]int) ([]int, error) {
+	sizes, err := s.labelSizes(shapes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(s.Output))
+	for i := 0; i < len(s.Output); i++ {
+		out[i] = sizes[s.Output[i]]
+	}
+	return out, nil
+}
+
+// Flops returns the floating-point operation count of evaluating the spec
+// on the given operand shapes, using the standard 2*prod(label sizes)
+// multiply-accumulate convention for two-operand einsums.
+func (s EinsumSpec) Flops(shapes ...[]int) (int64, error) {
+	sizes, err := s.labelSizes(shapes)
+	if err != nil {
+		return 0, err
+	}
+	total := int64(1)
+	for _, size := range sizes {
+		total *= int64(size)
+	}
+	if len(s.Inputs) == 2 {
+		total *= 2
+	}
+	return total, nil
+}
+
+func (s EinsumSpec) labelSizes(shapes [][]int) (map[byte]int, error) {
+	if len(shapes) != len(s.Inputs) {
+		return nil, fmt.Errorf("einsum: %s expects %d operands, got %d", s, len(s.Inputs), len(shapes))
+	}
+	sizes := map[byte]int{}
+	for op, labels := range s.Inputs {
+		if len(labels) != len(shapes[op]) {
+			return nil, fmt.Errorf("einsum: operand %d of %s has rank %d, want %d", op, s, len(shapes[op]), len(labels))
+		}
+		for i := 0; i < len(labels); i++ {
+			c := labels[i]
+			if prev, ok := sizes[c]; ok && prev != shapes[op][i] {
+				return nil, fmt.Errorf("einsum: label %q size mismatch %d vs %d in %s", c, prev, shapes[op][i], s)
+			}
+			sizes[c] = shapes[op][i]
+		}
+	}
+	return sizes, nil
+}
+
+// Einsum evaluates spec on the operands. It panics on malformed specs or
+// mismatched shapes; the HLO verifier catches those earlier in compiler
+// flows, so a failure here indicates an internal bug.
+func Einsum(spec string, operands ...*Tensor) *Tensor {
+	parsed, err := ParseEinsum(spec)
+	if err != nil {
+		panic(err)
+	}
+	out, err := EinsumParsed(parsed, operands...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// EinsumParsed evaluates a pre-parsed spec on the operands.
+func EinsumParsed(spec EinsumSpec, operands ...*Tensor) (*Tensor, error) {
+	shapes := make([][]int, len(operands))
+	for i, op := range operands {
+		shapes[i] = op.shape
+	}
+	sizes, err := spec.labelSizes(shapes)
+	if err != nil {
+		return nil, err
+	}
+	outShape, err := spec.OutputShape(shapes...)
+	if err != nil {
+		return nil, err
+	}
+	out := New(outShape...)
+
+	// The iteration space is output labels followed by contracted labels.
+	// For each operand (and the output) we precompute a per-position
+	// stride so offsets can be maintained incrementally as the odometer
+	// advances — O(1) work per step instead of re-deriving indices.
+	labels := spec.Output + spec.ContractedLabels()
+	dims := make([]int, len(labels))
+	for i := 0; i < len(labels); i++ {
+		dims[i] = sizes[labels[i]]
+	}
+	strideFor := func(opLabels string, strides []int) []int {
+		res := make([]int, len(labels))
+		for i := 0; i < len(labels); i++ {
+			for j := 0; j < len(opLabels); j++ {
+				if opLabels[j] == labels[i] {
+					res[i] = strides[j]
+				}
+			}
+		}
+		return res
+	}
+	outStride := strideFor(spec.Output, out.strides)
+	opStrides := make([][]int, len(operands))
+	for i, op := range operands {
+		opStrides[i] = strideFor(spec.Inputs[i], op.strides)
+	}
+
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	if total == 0 {
+		return out, nil
+	}
+	odometer := make([]int, len(labels))
+	offsets := make([]int, len(operands))
+	outOff := 0
+	for step := 0; ; step++ {
+		term := 1.0
+		for i, op := range operands {
+			term *= op.data[offsets[i]]
+		}
+		out.data[outOff] += term
+		// Advance the odometer, updating offsets incrementally.
+		pos := len(labels) - 1
+		for ; pos >= 0; pos-- {
+			odometer[pos]++
+			if odometer[pos] < dims[pos] {
+				for i := range operands {
+					offsets[i] += opStrides[i][pos]
+				}
+				outOff += outStride[pos]
+				break
+			}
+			odometer[pos] = 0
+			for i := range operands {
+				offsets[i] -= (dims[pos] - 1) * opStrides[i][pos]
+			}
+			outOff -= (dims[pos] - 1) * outStride[pos]
+		}
+		if pos < 0 {
+			break
+		}
+	}
+	return out, nil
+}

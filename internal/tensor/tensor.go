@@ -1,0 +1,243 @@
+// Package tensor implements the dense tensor arithmetic that the rest of
+// the reproduction builds on: shapes, general Einstein summation, slicing,
+// padding, concatenation and element-wise math.
+//
+// The package is a correctness substrate, not a performance library. All
+// values are stored as float64 in row-major order so that the functional
+// SPMD interpreter (internal/sim) can prove rewrites semantically
+// equivalent; timing comes from the analytic machine model instead.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Tensor is a dense, row-major n-dimensional array of float64 values.
+// The zero value is a scalar-shaped empty tensor; use New or the factory
+// helpers to construct usable tensors.
+type Tensor struct {
+	shape   []int
+	strides []int
+	data    []float64
+}
+
+// New returns a zero-filled tensor of the given shape. A nil or empty
+// shape produces a scalar (rank 0, one element). New panics if any
+// dimension is negative: shapes are produced by compiler code, so a bad
+// shape is a programming error, not an input error.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	t := &Tensor{
+		shape:   append([]int(nil), shape...),
+		strides: computeStrides(shape),
+		data:    make([]float64, n),
+	}
+	return t
+}
+
+// FromValues returns a tensor of the given shape initialized with the
+// provided values. It panics if len(values) does not match the shape.
+func FromValues(shape []int, values []float64) *Tensor {
+	t := New(shape...)
+	if len(values) != len(t.data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d values, got %d", shape, len(t.data), len(values)))
+	}
+	copy(t.data, values)
+	return t
+}
+
+// Scalar returns a rank-0 tensor holding v.
+func Scalar(v float64) *Tensor {
+	t := New()
+	t.data[0] = v
+	return t
+}
+
+// Rand returns a tensor of the given shape filled with uniform values in
+// [-1, 1) drawn from rng. Deterministic for a seeded rng, which keeps the
+// property-based equivalence tests reproducible.
+func Rand(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = rng.Float64()*2 - 1
+	}
+	return t
+}
+
+// Iota returns a tensor of the given shape whose elements are
+// 0, 1, 2, ... in row-major order. Useful for tests where every element
+// must be distinguishable.
+func Iota(shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float64(i)
+	}
+	return t
+}
+
+func computeStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = acc
+		acc *= shape[i]
+	}
+	return strides
+}
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// NumElements returns the total element count.
+func (t *Tensor) NumElements() int { return len(t.data) }
+
+// Data returns the underlying row-major element slice. The slice is the
+// live backing store, not a copy; mutating it mutates the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(index ...int) float64 {
+	return t.data[t.offset(index)]
+}
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, index ...int) {
+	t.data[t.offset(index)] = v
+}
+
+func (t *Tensor) offset(index []int) int {
+	if len(index) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(index), t.shape))
+	}
+	off := 0
+	for i, ix := range index {
+		if ix < 0 || ix >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", index, t.shape))
+		}
+		off += ix * t.strides[i]
+	}
+	return off
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether t and o have the same shape and bitwise-equal
+// elements.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i := range t.data {
+		if t.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether t and o have the same shape and element-wise
+// values within the given absolute-plus-relative tolerance:
+// |a-b| <= tol * (1 + max(|a|, |b|)). Decomposed einsums reassociate
+// floating-point additions, so equivalence checks must tolerate rounding.
+func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
+	return t.MaxDifference(o) <= tol
+}
+
+// MaxDifference returns the maximum normalized element-wise difference
+// between t and o, or +Inf if the shapes differ.
+func (t *Tensor) MaxDifference(o *Tensor) float64 {
+	if !t.SameShape(o) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range t.data {
+		a, b := t.data[i], o.data[i]
+		scale := 1 + math.Max(math.Abs(a), math.Abs(b))
+		if d := math.Abs(a-b) / scale; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// String renders the tensor's shape and, for small tensors, its values.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tensor%v", t.shape)
+	if len(t.data) <= 16 {
+		fmt.Fprintf(&b, "%v", t.data)
+	}
+	return b.String()
+}
+
+// indexIterator walks a multi-dimensional index space in row-major order.
+// next reports false once the space is exhausted. A zero-size space yields
+// no indices.
+type indexIterator struct {
+	shape []int
+	index []int
+	done  bool
+}
+
+func newIndexIterator(shape []int) *indexIterator {
+	it := &indexIterator{shape: shape, index: make([]int, len(shape))}
+	for _, d := range shape {
+		if d == 0 {
+			it.done = true
+		}
+	}
+	return it
+}
+
+// next advances to the following index. The returned slice is reused
+// between calls; callers must not retain it.
+func (it *indexIterator) next() ([]int, bool) {
+	if it.done {
+		return nil, false
+	}
+	cur := it.index
+	// Pre-compute the successor for the next call.
+	out := append([]int(nil), cur...)
+	for i := len(it.index) - 1; i >= 0; i-- {
+		it.index[i]++
+		if it.index[i] < it.shape[i] {
+			return out, true
+		}
+		it.index[i] = 0
+	}
+	it.done = true
+	return out, true
+}

@@ -1,0 +1,157 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.Rank() != 2 || x.Dim(0) != 2 || x.Dim(1) != 3 {
+		t.Fatalf("shape = %v, want [2 3]", x.Shape())
+	}
+	if x.NumElements() != 6 {
+		t.Fatalf("NumElements = %d, want 6", x.NumElements())
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("New tensor not zero filled: %v", x.Data())
+		}
+	}
+}
+
+func TestScalar(t *testing.T) {
+	s := Scalar(3.5)
+	if s.Rank() != 0 || s.NumElements() != 1 {
+		t.Fatalf("scalar shape wrong: rank=%d n=%d", s.Rank(), s.NumElements())
+	}
+	if got := s.At(); got != 3.5 {
+		t.Fatalf("At() = %v, want 3.5", got)
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(7, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 7 {
+		t.Fatalf("At(1,2,3) = %v, want 7", got)
+	}
+	// Row-major layout: offset of (1,2,3) in [2,3,4] is 1*12+2*4+3 = 23.
+	if x.Data()[23] != 7 {
+		t.Fatalf("row-major layout broken, data=%v", x.Data())
+	}
+}
+
+func TestFromValuesLengthCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromValues with wrong length did not panic")
+		}
+	}()
+	FromValues([]int{2, 2}, []float64{1, 2, 3})
+}
+
+func TestIota(t *testing.T) {
+	x := Iota(2, 2)
+	want := []float64{0, 1, 2, 3}
+	for i, v := range x.Data() {
+		if v != want[i] {
+			t.Fatalf("Iota data = %v, want %v", x.Data(), want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := Iota(2, 2)
+	y := x.Clone()
+	y.Set(99, 0, 0)
+	if x.At(0, 0) == 99 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := Iota(2, 3)
+	b := Iota(2, 3)
+	if !a.Equal(b) {
+		t.Fatal("identical tensors not Equal")
+	}
+	b.Set(b.At(1, 2)+1e-12, 1, 2)
+	if a.Equal(b) {
+		t.Fatal("perturbed tensor reported Equal")
+	}
+	if !a.AllClose(b, 1e-9) {
+		t.Fatal("tiny perturbation not AllClose at 1e-9")
+	}
+	if a.AllClose(b, 1e-15) {
+		t.Fatal("AllClose tolerance not respected")
+	}
+	c := Iota(3, 2)
+	if a.AllClose(c, 1) {
+		t.Fatal("AllClose across different shapes must be false")
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a := Rand(rand.New(rand.NewSource(42)), 3, 3)
+	b := Rand(rand.New(rand.NewSource(42)), 3, 3)
+	if !a.Equal(b) {
+		t.Fatal("Rand with identical seeds differs")
+	}
+	for _, v := range a.Data() {
+		if v < -1 || v >= 1 {
+			t.Fatalf("Rand value %v outside [-1,1)", v)
+		}
+	}
+}
+
+func TestIndexIteratorCoversSpace(t *testing.T) {
+	it := newIndexIterator([]int{2, 3})
+	var got [][]int
+	for idx, ok := it.next(); ok; idx, ok = it.next() {
+		got = append(got, idx)
+	}
+	if len(got) != 6 {
+		t.Fatalf("iterator yielded %d indices, want 6", len(got))
+	}
+	if got[0][0] != 0 || got[0][1] != 0 || got[5][0] != 1 || got[5][1] != 2 {
+		t.Fatalf("iterator order wrong: %v", got)
+	}
+}
+
+func TestIndexIteratorEmptySpace(t *testing.T) {
+	it := newIndexIterator([]int{2, 0})
+	if _, ok := it.next(); ok {
+		t.Fatal("iterator over empty space yielded an index")
+	}
+}
+
+func TestIndexIteratorScalar(t *testing.T) {
+	it := newIndexIterator(nil)
+	n := 0
+	for _, ok := it.next(); ok; _, ok = it.next() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("scalar space yielded %d indices, want 1", n)
+	}
+}
+
+func TestNegativeShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with negative dim did not panic")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestOutOfBoundsIndexPanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds At did not panic")
+		}
+	}()
+	x.At(2, 0)
+}

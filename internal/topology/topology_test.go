@@ -1,0 +1,240 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4)
+	if r.NumDevices() != 4 || r.Rank() != 1 || r.Dim(0) != 4 {
+		t.Fatalf("ring mis-sized: %v", r)
+	}
+	if r.AxisByName("x") != 0 || r.AxisByName("z") != -1 {
+		t.Fatal("axis lookup broken")
+	}
+	if r.String() != "mesh[x=4]" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestCoordDeviceRoundTrip(t *testing.T) {
+	m := NewTorus2D(3, 4)
+	for dev := 0; dev < m.NumDevices(); dev++ {
+		if got := m.DeviceAt(m.Coord(dev)); got != dev {
+			t.Fatalf("round trip %d -> %v -> %d", dev, m.Coord(dev), got)
+		}
+	}
+	// Row-major: device 5 in [3,4] is coord (1,1).
+	c := m.Coord(5)
+	if c[0] != 1 || c[1] != 1 {
+		t.Fatalf("Coord(5) = %v, want [1 1]", c)
+	}
+}
+
+func TestAxisStride(t *testing.T) {
+	m := NewTorus2D(3, 4)
+	if m.AxisStride(0) != 4 {
+		t.Fatalf("AxisStride(0) = %d, want 4", m.AxisStride(0))
+	}
+	if m.AxisStride(1) != 1 {
+		t.Fatalf("AxisStride(1) = %d, want 1", m.AxisStride(1))
+	}
+	// Coordinate extraction identity used by DynOffset: coord[axis] ==
+	// (pid / stride) % dim.
+	for dev := 0; dev < m.NumDevices(); dev++ {
+		coord := m.Coord(dev)
+		for axis := 0; axis < m.Rank(); axis++ {
+			if got := (dev / m.AxisStride(axis)) % m.Dim(axis); got != coord[axis] {
+				t.Fatalf("stride arithmetic broken: dev %d axis %d", dev, axis)
+			}
+		}
+	}
+}
+
+func TestAxisGroups(t *testing.T) {
+	m := NewTorus2D(2, 3)
+	gy := m.AxisGroups(1)
+	if len(gy) != 2 || len(gy[0]) != 3 {
+		t.Fatalf("y groups = %v", gy)
+	}
+	if gy[0][0] != 0 || gy[0][2] != 2 || gy[1][0] != 3 {
+		t.Fatalf("y groups content = %v", gy)
+	}
+	gx := m.AxisGroups(0)
+	if len(gx) != 3 || len(gx[0]) != 2 {
+		t.Fatalf("x groups = %v", gx)
+	}
+	if gx[0][0] != 0 || gx[0][1] != 3 || gx[2][1] != 5 {
+		t.Fatalf("x groups content = %v", gx)
+	}
+}
+
+func TestAxisGroupsPartitionAllDevices(t *testing.T) {
+	f := func(a, b uint8) bool {
+		m := New([]string{"x", "y"}, []int{1 + int(a)%4, 1 + int(b)%4})
+		for axis := 0; axis < m.Rank(); axis++ {
+			seen := map[int]bool{}
+			for _, g := range m.AxisGroups(axis) {
+				for _, d := range g {
+					if seen[d] {
+						return false
+					}
+					seen[d] = true
+				}
+			}
+			if len(seen) != m.NumDevices() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftPairsRing(t *testing.T) {
+	r := NewRing(4)
+	pairs := r.ShiftPairs(0, -1)
+	// The paper's pattern: {0,N-1}, {1,0}, {2,1}, {3,2}.
+	want := [][2]int{{0, 3}, {1, 0}, {2, 1}, {3, 2}}
+	for i, p := range pairs {
+		if p != want[i] {
+			t.Fatalf("ShiftPairs(-1) = %v, want %v", pairs, want)
+		}
+	}
+	fwd := r.ShiftPairs(0, 1)
+	for _, p := range fwd {
+		if p[1] != (p[0]+1)%4 {
+			t.Fatalf("ShiftPairs(+1) wrong: %v", fwd)
+		}
+	}
+}
+
+func TestShiftPairs2DAxis(t *testing.T) {
+	m := NewTorus2D(2, 3)
+	pairs := m.ShiftPairs(1, -1)
+	for _, p := range pairs {
+		cs, cd := m.Coord(p[0]), m.Coord(p[1])
+		if cs[0] != cd[0] {
+			t.Fatalf("axis-1 shift changed x coordinate: %v", p)
+		}
+		if cd[1] != (cs[1]+2)%3 {
+			t.Fatalf("axis-1 shift wrong: %v", p)
+		}
+	}
+}
+
+func TestNeighborWraparound(t *testing.T) {
+	r := NewRing(4)
+	if r.Neighbor(0, 0, -1) != 3 {
+		t.Fatal("wraparound neighbor wrong")
+	}
+	if r.Neighbor(3, 0, 1) != 0 {
+		t.Fatal("forward wraparound neighbor wrong")
+	}
+}
+
+func TestHopDistanceTorus(t *testing.T) {
+	m := NewTorus2D(4, 4)
+	// (0,0) to (3,3): wraparound makes each axis distance 1.
+	a := m.DeviceAt([]int{0, 0})
+	b := m.DeviceAt([]int{3, 3})
+	if got := m.HopDistance(a, b); got != 2 {
+		t.Fatalf("HopDistance = %d, want 2", got)
+	}
+	if m.HopDistance(a, a) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+	c := m.DeviceAt([]int{2, 0})
+	if got := m.HopDistance(a, c); got != 2 {
+		t.Fatalf("HopDistance to (2,0) = %d, want 2", got)
+	}
+}
+
+func TestLinksPerDevice(t *testing.T) {
+	if got := NewRing(8).LinksPerDevice(); got != 2 {
+		t.Fatalf("ring links = %d, want 2", got)
+	}
+	if got := NewRing(2).LinksPerDevice(); got != 1 {
+		t.Fatalf("2-ring links = %d, want 1", got)
+	}
+	if got := NewTorus2D(4, 8).LinksPerDevice(); got != 4 {
+		t.Fatalf("torus links = %d, want 4", got)
+	}
+	if got := New([]string{"x"}, []int{1}).LinksPerDevice(); got != 0 {
+		t.Fatalf("degenerate links = %d, want 0", got)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { New([]string{"x"}, []int{0}) },
+		func() { New([]string{"x", "y"}, []int{2}) },
+		func() { NewRing(4).Coord(4) },
+		func() { NewRing(4).DeviceAt([]int{5}) },
+		func() { NewRing(4).AxisGroups(1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTorus3D(t *testing.T) {
+	m := NewTorus3D(2, 3, 4)
+	if m.NumDevices() != 24 || m.Rank() != 3 {
+		t.Fatalf("3D torus mis-sized: %v", m)
+	}
+	if m.AxisByName("z") != 2 {
+		t.Fatal("z axis missing")
+	}
+	// Row-major strides: x=12, y=4, z=1.
+	if m.AxisStride(0) != 12 || m.AxisStride(1) != 4 || m.AxisStride(2) != 1 {
+		t.Fatalf("strides = %d %d %d", m.AxisStride(0), m.AxisStride(1), m.AxisStride(2))
+	}
+	groups := m.AxisGroups(2)
+	if len(groups) != 6 || len(groups[0]) != 4 {
+		t.Fatalf("z groups = %v", groups)
+	}
+}
+
+// Property: HopDistance is a metric on the torus — symmetric, zero only
+// on the diagonal, and satisfying the triangle inequality.
+func TestHopDistanceIsMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewTorus3D(1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(3))
+		n := m.NumDevices()
+		a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		dab, dba := m.HopDistance(a, b), m.HopDistance(b, a)
+		if dab != dba {
+			return false
+		}
+		if (dab == 0) != (sameCoord(m, a, b)) {
+			return false
+		}
+		return m.HopDistance(a, c) <= dab+m.HopDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameCoord(m *Mesh, a, b int) bool {
+	ca, cb := m.Coord(a), m.Coord(b)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+// Package overlap reproduces "Overlap Communication with Dependent
+// Computation via Decomposition in Large Deep Learning Models"
+// (Wang et al., ASPLOS 2023) as a self-contained Go library.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/hlo — the XLA-HLO-like dataflow IR the passes operate on;
+//   - internal/partition — intra-layer (tensor) model parallelism:
+//     shardings, einsum propagation, collective insertion;
+//   - internal/core — the paper's contribution: Looped CollectiveEinsum
+//     decomposition, asynchronous CollectivePermute scheduling, loop
+//     unrolling, bidirectional transfer, fusion rewrites, cost model;
+//   - internal/sim — a functional SPMD interpreter (correctness) and a
+//     discrete-event timing simulator (performance);
+//   - internal/machine — the TPU-v4-like machine model;
+//   - internal/models — the paper's Table 1 / Table 2 workloads;
+//   - internal/experiments — runners that regenerate every evaluation
+//     table and figure.
+//
+// Quick start:
+//
+//	c := overlap.NewComputation("layer")
+//	act := c.Parameter(0, "act", []int{128, 512})
+//	w := c.Parameter(1, "w", []int{128, 1024})
+//	full := c.AllGather(w, 0, overlap.NewRing(4).AxisGroups(0))
+//	c.Einsum("bf,fh->bh", act, full)
+//
+//	opts := overlap.DefaultOptions(overlap.TPUv4())
+//	report, err := overlap.Apply(c, opts) // decompose + schedule
+package overlap
+
+import (
+	"fmt"
+
+	"overlap/internal/core"
+	"overlap/internal/experiments"
+	"overlap/internal/grad"
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/models"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+	"overlap/internal/topology"
+)
+
+// Re-exported core types. The aliases keep one set of definitions while
+// giving users a single import.
+type (
+	// Computation is an SPMD program: a scheduled dataflow graph.
+	Computation = hlo.Computation
+	// Instruction is one node of a Computation.
+	Instruction = hlo.Instruction
+	// Options configures the overlap pipeline (§5).
+	Options = core.Options
+	// Report summarizes what the pipeline did.
+	Report = core.Report
+	// Decision is the §5.5 cost-model verdict for one site.
+	Decision = core.Decision
+	// MachineSpec describes the simulated accelerator.
+	MachineSpec = machine.Spec
+	// Mesh is a logical device mesh (ring / torus).
+	Mesh = topology.Mesh
+	// Breakdown is the simulated step-time decomposition.
+	Breakdown = sim.Breakdown
+	// ModelConfig is one evaluated workload (Tables 1-2).
+	ModelConfig = models.Config
+	// Tensor is a dense float64 tensor (used by the interpreter).
+	Tensor = tensor.Tensor
+	// SchedulerKind selects the §5.2 scheduling approach.
+	SchedulerKind = core.SchedulerKind
+	// MemoryStats reports a schedule's live-byte profile.
+	MemoryStats = hlo.MemoryStats
+)
+
+// Scheduler kinds (§5.2).
+const (
+	SchedulerBottomUp = core.SchedulerBottomUp
+	SchedulerTopDown  = core.SchedulerTopDown
+	SchedulerNone     = core.SchedulerNone
+)
+
+// NewComputation returns an empty SPMD computation.
+func NewComputation(name string) *Computation { return hlo.NewComputation(name) }
+
+// NewRing returns a 1D device mesh of n chips.
+func NewRing(n int) *Mesh { return topology.NewRing(n) }
+
+// NewTorus2D returns an m-by-n 2D device mesh.
+func NewTorus2D(m, n int) *Mesh { return topology.NewTorus2D(m, n) }
+
+// TPUv4 returns the TPU-v4-like machine specification the evaluation
+// uses.
+func TPUv4() MachineSpec { return machine.TPUv4() }
+
+// DefaultOptions returns the paper's deployed configuration: decompose
+// + bottom-up schedule + unrolling + bidirectional transfer + fusion,
+// gated by the cost model.
+func DefaultOptions(spec MachineSpec) Options { return core.DefaultOptions(spec) }
+
+// BaselineOptions returns a configuration with the feature off.
+func BaselineOptions(spec MachineSpec) Options { return core.BaselineOptions(spec) }
+
+// Apply runs the overlap pipeline on the computation in place and
+// returns what it did.
+func Apply(c *Computation, opts Options) (Report, error) { return core.Apply(c, opts) }
+
+// Simulate runs the computation through the timing model on numDevices
+// devices.
+func Simulate(c *Computation, numDevices int, spec MachineSpec) (Breakdown, error) {
+	return sim.Simulate(c, numDevices, spec)
+}
+
+// Interpret executes the computation functionally and returns the root
+// value on each device; args[i] holds parameter i's per-device values
+// (or a single replicated tensor).
+func Interpret(c *Computation, numDevices int, args [][]*Tensor) ([]*Tensor, error) {
+	return sim.Interpret(c, numDevices, args)
+}
+
+// Gradients appends the backward pass of root (seeded with seed) to the
+// computation and returns the gradient instruction for every wrt entry.
+// Forward AllGathers become backward ReduceScatters (and vice versa),
+// so the overlap pipeline applies to the result.
+func Gradients(c *Computation, root, seed *Instruction, wrt []*Instruction) (map[*Instruction]*Instruction, error) {
+	return grad.Append(c, root, seed, wrt)
+}
+
+// PeakMemory estimates the peak live bytes of the computation under its
+// current schedule.
+func PeakMemory(c *Computation) MemoryStats { return hlo.PeakMemory(c) }
+
+// ParseHLO reads a computation back from its Format text.
+func ParseHLO(text string) (*Computation, error) { return hlo.Parse(text) }
+
+// Table1Models returns the six production workloads of Table 1.
+func Table1Models() []ModelConfig { return models.Table1() }
+
+// Table2Models returns the weak-scaled GPT family of Table 2.
+func Table2Models() []ModelConfig { return models.Table2() }
+
+// BuildLayerStep builds the partitioned per-layer training-step graph
+// of a Table 1/2 model.
+func BuildLayerStep(cfg ModelConfig) (*Computation, error) {
+	return models.BuildLayerStep(cfg)
+}
+
+// ExperimentIDs lists the experiments RunExperiment accepts, in
+// presentation order.
+func ExperimentIDs() []string {
+	return []string{
+		"table1", "table2", "fig1", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"energy", "inference",
+		// Extensions beyond the paper's evaluation section.
+		"memory", "rolled", "inference-sweep", "pipeline", "gpu",
+	}
+}
+
+// RunExperiment regenerates one of the paper's tables or figures and
+// returns its textual report.
+func RunExperiment(id string, spec MachineSpec) (string, error) {
+	switch id {
+	case "table1":
+		return experiments.Table1(), nil
+	case "table2":
+		return experiments.Table2(), nil
+	case "fig1":
+		return experiments.Fig1(spec)
+	case "fig12":
+		s, _, err := experiments.Fig12(spec)
+		return s, err
+	case "fig13":
+		s, _, err := experiments.Fig13(spec)
+		return s, err
+	case "fig14":
+		s, _, err := experiments.Fig14(spec)
+		return s, err
+	case "fig15":
+		s, _, err := experiments.Fig15(spec)
+		return s, err
+	case "fig16":
+		s, _, err := experiments.Fig16(spec)
+		return s, err
+	case "energy":
+		return experiments.Energy(spec)
+	case "inference":
+		s, _, err := experiments.Inference(spec)
+		return s, err
+	case "memory":
+		return experiments.Memory(spec)
+	case "rolled":
+		return experiments.Rolled(spec)
+	case "inference-sweep":
+		return experiments.InferenceSweep(spec)
+	case "pipeline":
+		return experiments.Pipeline(spec)
+	case "gpu":
+		return experiments.GPU(spec)
+	}
+	return "", fmt.Errorf("overlap: unknown experiment %q (want one of %v)", id, ExperimentIDs())
+}
