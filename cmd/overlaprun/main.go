@@ -1,0 +1,185 @@
+// Command overlaprun executes a named model's layer step for real on
+// the concurrent goroutine runtime — one goroutine per device, channel
+// links, asynchronous CollectivePermutes — and prints a compute /
+// communication / exposed-stall breakdown measured from wall-clock
+// timestamps rather than the discrete-event simulator's predictions.
+//
+// The Table 1/2 models are far too large to execute with real tensors,
+// so the named configuration is scaled down to a miniature with the
+// same architecture, partitioning strategy, and collective structure:
+// one layer on a 1×N ring, with dimensions shrunk proportionally to the
+// device count. Injected wire delays (see -timescale) keep the
+// compute-to-communication ratio meaningful at that scale.
+//
+// Usage:
+//
+//	overlaprun -model GPT_32B -devices 4                # all three modes
+//	overlaprun -model GLaM_1T -devices 4 -mode overlap  # one mode
+//	overlaprun -model GPT_32B -trace run.json           # Perfetto trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"overlap"
+	"overlap/internal/core"
+	"overlap/internal/models"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+func main() {
+	model := flag.String("model", "GPT_32B", "model name from Table 1 or Table 2")
+	devices := flag.Int("devices", 4, "ring size (goroutine devices)")
+	dim := flag.Int("dim", 8, "miniature per-head dimension (scales every tensor)")
+	mode := flag.String("mode", "all", "baseline, rolled, overlap, or all")
+	timeScale := flag.Float64("timescale", 2000, "wire-delay scale: modeled seconds sleep this many times longer")
+	traceFile := flag.String("trace", "", "write the overlap mode's Chrome trace to this file")
+	check := flag.Bool("check", false, "cross-check runtime outputs against the lockstep interpreter")
+	flag.Parse()
+
+	cfg, err := models.ByName(*model)
+	if err != nil {
+		fail(err)
+	}
+	mini, err := miniature(cfg, *devices, *dim)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s miniature: %d devices, model dim %d, ff dim %d, %d tokens\n",
+		mini.Name, *devices, mini.ModelDim, mini.FFDim, mini.Tokens())
+
+	modes := []string{"baseline", "rolled", "overlap"}
+	if *mode != "all" {
+		modes = []string{*mode}
+	}
+	for _, m := range modes {
+		if err := runMode(mini, m, *devices, *timeScale, *traceFile, *check); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runMode builds the miniature layer graph, applies the pipeline the
+// mode names, executes it on the runtime, and prints the measured
+// breakdown.
+func runMode(cfg models.Config, mode string, devices int, timeScale float64, traceFile string, check bool) error {
+	c, err := overlap.BuildLayerStep(cfg)
+	if err != nil {
+		return err
+	}
+	spec := overlap.TPUv4()
+	switch mode {
+	case "baseline":
+		// Keep the blocking collectives.
+	case "rolled":
+		opts := core.Options{Spec: spec, Rolled: true, UseCostModel: false, Scheduler: core.SchedulerNone}
+		if _, err := core.Apply(c, opts); err != nil {
+			return err
+		}
+	case "overlap":
+		// The miniature's shapes would not pass the cost model (which
+		// prices the full-size model); decompose unconditionally.
+		opts := overlap.DefaultOptions(spec)
+		opts.UseCostModel = false
+		if _, err := overlap.Apply(c, opts); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (want baseline, rolled, overlap, or all)", mode)
+	}
+
+	args := randomArgs(c)
+	ropts := overlap.RunOptions{Spec: spec, TimeScale: timeScale}
+	if traceFile != "" && mode == "overlap" {
+		ropts.Trace = true
+	}
+	res, err := overlap.Run(c, devices, args, ropts)
+	if err != nil {
+		return err
+	}
+
+	if check {
+		want, err := overlap.Interpret(c, devices, args)
+		if err != nil {
+			return err
+		}
+		for d := range want {
+			if !res.Values[d].Equal(want[d]) {
+				return fmt.Errorf("%s: device %d diverges from the interpreter", mode, d)
+			}
+		}
+	}
+
+	b := res.Breakdown
+	fmt.Printf("%-9s step %8.2fms  compute %8.2fms  wire %8.2fms  exposed %8.2fms  async %d  in-flight %d%s\n",
+		mode, b.StepTime*1e3, b.Compute*1e3, b.CollectiveWire*1e3, b.Exposed*1e3,
+		b.AsyncTransfers, b.PeakInFlight, checkMark(check))
+
+	if ropts.Trace {
+		data, err := sim.TraceJSON(res.Trace)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(traceFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("          wrote %d trace events to %s\n", len(res.Trace), traceFile)
+	}
+	return nil
+}
+
+// miniature shrinks a Table 1/2 configuration onto a 1×devices ring
+// while preserving its architecture and the divisibility constraints of
+// its partitioning: every collective the full model's layer emits
+// appears in the miniature too, just over small tensors.
+func miniature(cfg models.Config, devices, dim int) (models.Config, error) {
+	if devices < 1 {
+		return cfg, fmt.Errorf("need at least one device")
+	}
+	if dim < 1 {
+		return cfg, fmt.Errorf("need a positive -dim")
+	}
+	cfg.Name = strings.ToLower(cfg.Name) + "-mini"
+	cfg.Layers = 1
+	cfg.Chips = devices
+	cfg.MeshX, cfg.MeshY = 1, devices
+	cfg.HeadDim = dim
+	cfg.ModelDim = dim * devices
+	cfg.FFDim = 2 * cfg.ModelDim
+	cfg.SeqLen = 4 * devices
+	cfg.Batch = devices
+	if cfg.Arch == models.ArchMoE {
+		cfg.Experts = devices
+	}
+	return cfg, cfg.Validate()
+}
+
+// randomArgs supplies one replicated random tensor per parameter: the
+// runtime and interpreter only need well-shaped inputs, and replication
+// keeps the decomposed programs' slice bookkeeping meaningful.
+func randomArgs(c *overlap.Computation) [][]*tensor.Tensor {
+	rng := rand.New(rand.NewSource(42))
+	params := c.Parameters()
+	args := make([][]*tensor.Tensor, len(params))
+	for i, p := range params {
+		args[i] = []*tensor.Tensor{tensor.Rand(rng, p.Shape...)}
+	}
+	return args
+}
+
+func checkMark(check bool) string {
+	if check {
+		return "  [checked]"
+	}
+	return ""
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "overlaprun: %v\n", err)
+	os.Exit(1)
+}

@@ -8,7 +8,22 @@ import (
 // into a CollectivePermuteStart/CollectivePermuteDone pair (§5.2). The
 // pair is left adjacent; the scheduling passes then pull starts early
 // and push dones late to create overlap.
+//
+// The pass is idempotent: a second call finds no blocking permutes and
+// returns without touching the computation, so existing Start/Done
+// pairs are never re-wrapped and a schedule already produced by the
+// scheduling passes is left exactly as it stands.
 func MakeAsync(c *hlo.Computation) int {
+	blocking := false
+	for _, in := range c.Instructions() {
+		if in.Op == hlo.OpCollectivePermute {
+			blocking = true
+			break
+		}
+	}
+	if !blocking {
+		return 0
+	}
 	converted := 0
 	c.WithRootPreserved(func() {
 		for _, in := range c.Instructions() {

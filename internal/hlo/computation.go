@@ -82,6 +82,20 @@ func (c *Computation) Instructions() []*Instruction {
 // NumInstructions returns the length of the sequence.
 func (c *Computation) NumInstructions() int { return len(c.instrs) }
 
+// Walk calls f for every instruction of the computation and,
+// recursively, of every fusion and loop body, in schedule order (each
+// instruction immediately before its body's instructions). It is the
+// traversal hook execution engines use to pre-plan resources — link
+// channels, rendezvous state, arena sizing — before running.
+func (c *Computation) Walk(f func(*Instruction)) {
+	for _, in := range c.instrs {
+		f(in)
+		if in.Body != nil {
+			in.Body.Walk(f)
+		}
+	}
+}
+
 // Root returns the computation's result: the explicitly tracked root,
 // or the last instruction of the sequence under the builder convention.
 func (c *Computation) Root() *Instruction {

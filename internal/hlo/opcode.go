@@ -115,6 +115,22 @@ func (op OpCode) IsCollective() bool {
 	return false
 }
 
+// IsDeviceLocal reports whether the op executes entirely within one
+// device: no data crosses a link and no cross-device synchronization is
+// required. Execution engines (the lockstep interpreter in internal/sim,
+// the concurrent runtime in internal/runtime) dispatch on this to
+// separate per-device evaluation from communication handling. Loop is
+// not device-local because its body may contain collectives.
+func (op OpCode) IsDeviceLocal() bool {
+	switch op {
+	case OpParameter, OpConstant, OpZero, OpEinsum, OpAdd, OpMax, OpCopy,
+		OpReshape, OpTranspose, OpConcat, OpPad, OpSlice,
+		OpDynamicSlice, OpDynamicUpdateSlice, OpFusion, OpTuple:
+		return true
+	}
+	return false
+}
+
 // IsAsyncStart reports whether the op begins an asynchronous transfer.
 func (op OpCode) IsAsyncStart() bool { return op == OpCollectivePermuteStart }
 

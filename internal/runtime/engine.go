@@ -1,0 +1,153 @@
+package runtime
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"overlap/internal/hlo"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+// engine owns one concurrent execution: the shared rendezvous registry
+// for blocking collectives, the link fabric for asynchronous transfers,
+// and the abort machinery that lets any device fail the run without
+// deadlocking the others.
+type engine struct {
+	comp *hlo.Computation
+	n    int
+	opts Options
+
+	fabric *fabric
+
+	mu    sync.Mutex
+	gens  map[rvKey]*genState
+	abort chan struct{}
+	once  sync.Once
+	err   error
+
+	epoch time.Time
+}
+
+func newEngine(c *hlo.Computation, numDevices int, opts Options) *engine {
+	e := &engine{
+		comp:  c,
+		n:     numDevices,
+		opts:  opts,
+		gens:  map[rvKey]*genState{},
+		abort: make(chan struct{}),
+	}
+	e.fabric = newFabric(e)
+	return e
+}
+
+// fail records the first error and releases every blocked goroutine.
+func (e *engine) fail(err error) {
+	e.once.Do(func() {
+		e.err = err
+		close(e.abort)
+	})
+}
+
+// run launches one goroutine per device, joins them, winds down the
+// fabric, and assembles the per-device values and measured breakdown.
+func (e *engine) run(args [][]*tensor.Tensor) (*Result, error) {
+	devices := make([]*device, e.n)
+	paramFor := func(p *hlo.Instruction, dev int) *tensor.Tensor {
+		set := args[p.ParamIndex]
+		if len(set) == 1 {
+			return set[0]
+		}
+		return set[dev]
+	}
+
+	e.epoch = time.Now()
+	var wg sync.WaitGroup
+	for d := 0; d < e.n; d++ {
+		dev := newDevice(e, d)
+		devices[d] = dev
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dev.run(paramFor)
+		}()
+	}
+	wg.Wait()
+	e.fabric.shutdown()
+
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.assemble(devices), nil
+}
+
+// assemble merges the per-device arenas, stats, and trace buffers into
+// the caller-facing result. It runs after every goroutine has joined, so
+// all device- and link-local state is safely visible.
+func (e *engine) assemble(devices []*device) *Result {
+	res := &Result{
+		All: make(map[*hlo.Instruction][]*tensor.Tensor, e.comp.NumInstructions()),
+	}
+	for _, in := range e.comp.Instructions() {
+		per := make([]*tensor.Tensor, e.n)
+		for d, dev := range devices {
+			per[d] = dev.values[in]
+		}
+		res.All[in] = per
+	}
+	if root := e.comp.Root(); root != nil {
+		res.Values = res.All[root]
+	}
+
+	var b sim.Breakdown
+	for _, dev := range devices {
+		if dev.finished > b.StepTime {
+			b.StepTime = dev.finished
+		}
+		b.Compute += dev.compute / float64(e.n)
+		b.CollectiveWire += dev.wire / float64(e.n)
+		b.Exposed += dev.exposed / float64(e.n)
+		if dev.asyncSends > b.AsyncTransfers {
+			b.AsyncTransfers = dev.asyncSends
+		}
+		if dev.peakInFlight > b.PeakInFlight {
+			b.PeakInFlight = dev.peakInFlight
+		}
+	}
+	res.Breakdown = b
+
+	if e.opts.Trace {
+		for _, dev := range devices {
+			res.Trace = append(res.Trace, dev.trace...)
+		}
+		res.Trace = append(res.Trace, e.fabric.traceEvents()...)
+		sort.SliceStable(res.Trace, func(i, j int) bool {
+			a, b := res.Trace[i], res.Trace[j]
+			if a.PID != b.PID {
+				return a.PID < b.PID
+			}
+			if a.TID != b.TID {
+				return a.TID < b.TID
+			}
+			return a.TS < b.TS
+		})
+	}
+	return res
+}
+
+// traceWindow returns the number of leading devices whose spans are
+// recorded, following the simulator's truncation convention.
+func (e *engine) traceWindow() int {
+	w := e.opts.TraceDevices
+	if w <= 0 {
+		w = sim.TraceMaxDevices
+	}
+	if w > e.n {
+		w = e.n
+	}
+	return w
+}
+
+// since returns seconds elapsed from the execution epoch.
+func (e *engine) since() float64 { return time.Since(e.epoch).Seconds() }

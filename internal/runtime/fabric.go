@@ -1,0 +1,169 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"overlap/internal/hlo"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+// mailKey addresses one asynchronous transfer instance: which
+// CollectivePermuteStart produced it and the per-device execution count
+// of that start. SPMD keeps the counters symmetric — the sender's k-th
+// execution of a start pairs with the receiver's k-th execution of the
+// matching done — so no further coordination is needed to match them.
+type mailKey struct {
+	start *hlo.Instruction
+	inst  int
+}
+
+// parcel is one tensor in flight on a link.
+type parcel struct {
+	key   mailKey
+	data  *tensor.Tensor
+	bytes int64
+}
+
+// link is one directed (src,dst) connection: a buffered channel plus a
+// goroutine that imposes the modeled wire time. Because every parcel for
+// the edge passes through one goroutine, transfers on the same link
+// serialize — the property that makes the injected delays compose like
+// real link occupancy.
+type link struct {
+	src, dst int
+	ch       chan parcel
+	trace    []sim.TraceEvent
+}
+
+// fabric owns every link and every device's mailbox set.
+type fabric struct {
+	eng   *engine
+	links map[[2]int]*link
+	wg    sync.WaitGroup
+
+	mailMu []sync.Mutex
+	mail   []map[mailKey]chan *tensor.Tensor
+}
+
+// linkBuffer bounds parcels queued on one edge before the wire; a start
+// only blocks posting if this many sends are already pending there,
+// and even then the link goroutine is always draining, so posting can
+// stall but never deadlock.
+const linkBuffer = 64
+
+// newFabric discovers the directed edges used by any asynchronous
+// permute in the program (including loop bodies) and starts one link
+// goroutine per edge.
+func newFabric(e *engine) *fabric {
+	f := &fabric{
+		eng:    e,
+		links:  map[[2]int]*link{},
+		mailMu: make([]sync.Mutex, e.n),
+		mail:   make([]map[mailKey]chan *tensor.Tensor, e.n),
+	}
+	for d := 0; d < e.n; d++ {
+		f.mail[d] = map[mailKey]chan *tensor.Tensor{}
+	}
+	e.comp.Walk(func(in *hlo.Instruction) {
+		if in.Op != hlo.OpCollectivePermuteStart {
+			return
+		}
+		for _, p := range in.Pairs {
+			edge := [2]int{p.Source, p.Target}
+			if _, ok := f.links[edge]; ok {
+				continue
+			}
+			l := &link{src: p.Source, dst: p.Target, ch: make(chan parcel, linkBuffer)}
+			f.links[edge] = l
+			f.wg.Add(1)
+			go func() {
+				defer f.wg.Done()
+				f.serve(l)
+			}()
+		}
+	})
+	return f
+}
+
+// serve is one link goroutine: drain parcels in order, hold the wire for
+// the modeled time, deliver into the destination mailbox. Sleeping here
+// releases the OS thread, so device goroutines compute while transfers
+// are in flight — including on a single-core host.
+func (f *fabric) serve(l *link) {
+	for p := range l.ch {
+		start := f.eng.since()
+		if d := f.eng.transferDelay(p.bytes); d > 0 {
+			time.Sleep(d)
+		}
+		if f.eng.opts.Trace && l.src < f.eng.traceWindow() {
+			l.trace = append(l.trace, sim.TraceEvent{
+				Name: p.key.start.Name, Cat: "transfer", Ph: "X",
+				TS: start * 1e6, Dur: (f.eng.since() - start) * 1e6,
+				PID: l.src, TID: sim.TraceTIDTransfer,
+			})
+		}
+		f.mailbox(l.dst, p.key) <- p.data
+	}
+}
+
+// post enqueues a transfer on its link without waiting for the wire.
+// It reports false if the run aborted while the link queue was full.
+func (f *fabric) post(src, dst int, key mailKey, data *tensor.Tensor, bytes int64) bool {
+	l := f.links[[2]int{src, dst}]
+	p := parcel{key: key, data: data, bytes: bytes}
+	select {
+	case l.ch <- p:
+		return true
+	case <-f.eng.abort:
+		return false
+	}
+}
+
+// receive blocks until the transfer addressed by key arrives at device
+// dst, or the run aborts.
+func (f *fabric) receive(dst int, key mailKey) (*tensor.Tensor, bool) {
+	select {
+	case t := <-f.mailbox(dst, key):
+		return t, true
+	case <-f.eng.abort:
+		return nil, false
+	}
+}
+
+// mailbox returns the single-parcel channel for one transfer instance at
+// one device, creating it on first use by either side. Each key carries
+// exactly one parcel (validation enforces unique pair sources), so
+// delivery into the capacity-1 channel never blocks a link goroutine.
+func (f *fabric) mailbox(dev int, key mailKey) chan *tensor.Tensor {
+	f.mailMu[dev].Lock()
+	defer f.mailMu[dev].Unlock()
+	ch, ok := f.mail[dev][key]
+	if !ok {
+		ch = make(chan *tensor.Tensor, 1)
+		f.mail[dev][key] = ch
+	}
+	return ch
+}
+
+// shutdown closes every link and joins the link goroutines. Called after
+// all devices have returned: remaining parcels (possible only on abort)
+// drain into mailboxes nobody reads, which cannot block because each
+// key's channel has room for its one parcel.
+func (f *fabric) shutdown() {
+	for _, l := range f.links {
+		close(l.ch)
+	}
+	f.wg.Wait()
+}
+
+// traceEvents merges the per-link transfer spans. Only called after
+// shutdown, when link goroutines no longer append.
+func (f *fabric) traceEvents() []sim.TraceEvent {
+	var out []sim.TraceEvent
+	for _, l := range f.links {
+		out = append(out, l.trace...)
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package runtime
+
+import (
+	"time"
+
+	"overlap/internal/collective"
+	"overlap/internal/hlo"
+	"overlap/internal/tensor"
+)
+
+// rvKey names one instance of a blocking collective: the instruction,
+// which of its device groups is rendezvousing (-1 for CollectivePermute,
+// which synchronizes all devices), and the per-device execution count of
+// that instruction (its "generation" — a collective inside a loop body
+// runs once per iteration, and fast devices may reach generation k+1
+// before slow ones have read generation k's output).
+type rvKey struct {
+	in    *hlo.Instruction
+	group int
+	gen   int
+}
+
+// genState accumulates one generation of one collective group: inputs
+// arrive positionally, the last arriver injects the modeled wire delay
+// and computes the group result with the same internal/collective
+// kernels the lockstep interpreter uses, and done releases the waiters.
+type genState struct {
+	inputs  []*tensor.Tensor
+	arrived int
+	outputs []*tensor.Tensor
+	done    chan struct{}
+	read    int
+}
+
+// rendezvous runs device pid's side of a blocking collective: deposit
+// the input, wait for the group, return this device's share of the
+// result. It returns false when the run aborted while waiting.
+func (e *engine) rendezvous(in *hlo.Instruction, gen, pid int, input *tensor.Tensor) (*tensor.Tensor, bool) {
+	group, groupIdx, pos := e.groupOf(in, pid)
+
+	key := rvKey{in: in, group: groupIdx, gen: gen}
+	e.mu.Lock()
+	gs, ok := e.gens[key]
+	if !ok {
+		gs = &genState{
+			inputs: make([]*tensor.Tensor, len(group)),
+			done:   make(chan struct{}),
+		}
+		e.gens[key] = gs
+	}
+	gs.inputs[pos] = input
+	gs.arrived++
+	last := gs.arrived == len(group)
+	e.mu.Unlock()
+
+	if last {
+		// The whole group is blocked here, so the group's wire time is
+		// serialized with its devices: one injected delay per instance.
+		if d := e.collectiveDelay(in); d > 0 {
+			time.Sleep(d)
+		}
+		gs.outputs = collectiveResult(in, gs.inputs)
+		close(gs.done)
+	} else {
+		select {
+		case <-gs.done:
+		case <-e.abort:
+			return nil, false
+		}
+	}
+
+	out := gs.outputs[pos]
+	e.mu.Lock()
+	gs.read++
+	if gs.read == len(group) {
+		delete(e.gens, key)
+	}
+	e.mu.Unlock()
+	return out, true
+}
+
+// groupOf resolves which rendezvous group device pid joins for the
+// instruction and its position within it. CollectivePermute synchronizes
+// every device (its kernel consumes all per-device inputs and zero-fills
+// non-targets); group collectives use the instruction's device groups.
+// Validation guarantees membership exists.
+func (e *engine) groupOf(in *hlo.Instruction, pid int) (group []int, groupIdx, pos int) {
+	if in.Op == hlo.OpCollectivePermute {
+		group = make([]int, e.n)
+		for d := range group {
+			group[d] = d
+		}
+		return group, -1, pid
+	}
+	for gi, g := range in.Groups {
+		for i, d := range g {
+			if d == pid {
+				return g, gi, i
+			}
+		}
+	}
+	panic(formatErr("device %d has no group for %s", pid, in.Name))
+}
+
+// collectiveResult computes one group instance's per-position outputs,
+// dispatching to the same kernels sim's interpreter uses so both
+// executors produce bit-identical tensors.
+func collectiveResult(in *hlo.Instruction, inputs []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(inputs))
+	switch in.Op {
+	case hlo.OpAllGather:
+		res := collective.AllGather(inputs, in.CollectiveAxis)
+		for i := range out {
+			out[i] = res
+		}
+	case hlo.OpReduceScatter:
+		copy(out, collective.ReduceScatter(inputs, in.CollectiveAxis))
+	case hlo.OpAllReduce:
+		res := collective.AllReduce(inputs)
+		for i := range out {
+			out[i] = res
+		}
+	case hlo.OpAllToAll:
+		copy(out, collective.AllToAll(inputs, in.CollectiveAxis, in.Axis))
+	case hlo.OpCollectivePermute:
+		copy(out, collective.Permute(inputs, pairSlice(in.Pairs)))
+	default:
+		panic(formatErr("%s is not a blocking collective", in.Op))
+	}
+	return out
+}
+
+func pairSlice(pairs []hlo.SourceTargetPair) [][2]int {
+	out := make([][2]int, len(pairs))
+	for i, p := range pairs {
+		out[i] = [2]int{p.Source, p.Target}
+	}
+	return out
+}

@@ -1,0 +1,369 @@
+package runtime_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"overlap/internal/core"
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/runtime"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+	"overlap/internal/topology"
+)
+
+// siteCase bundles a buildable decomposition site with its per-device
+// arguments, mirroring the core equivalence harness (which lives in
+// package core and is not importable here).
+type siteCase struct {
+	name  string
+	build func() *hlo.Computation
+	args  [][]*tensor.Tensor
+	n     int
+}
+
+// goldenSites builds the decomposable site shapes of the paper's three
+// AllGather cases and the ReduceScatter case (both operand sides where
+// they differ) over a ring of n devices.
+func goldenSites(n int, rng *rand.Rand) []siteCase {
+	groups := topology.NewRing(n).AxisGroups(0)
+	const m, k, nn, g = 4, 6, 5, 1
+	perDevice := func(shape []int) []*tensor.Tensor {
+		out := make([]*tensor.Tensor, n)
+		for d := range out {
+			out[d] = tensor.Rand(rng, shape...)
+		}
+		return out
+	}
+	return []siteCase{
+		{
+			name: "ag-noncontracting",
+			build: func() *hlo.Computation {
+				c := hlo.NewComputation("ag1")
+				a := c.Parameter(0, "a", []int{m, k})
+				b := c.Parameter(1, "b", []int{k, nn})
+				full := c.AllGather(a, 0, groups)
+				c.Einsum("mk,kn->mn", full, b)
+				return c
+			},
+			args: [][]*tensor.Tensor{perDevice([]int{m, k}), perDevice([]int{k, nn})},
+			n:    n,
+		},
+		{
+			name: "ag-noncontracting-rhs",
+			build: func() *hlo.Computation {
+				c := hlo.NewComputation("ag1r")
+				a := c.Parameter(0, "a", []int{m, k})
+				b := c.Parameter(1, "b", []int{k, nn})
+				full := c.AllGather(b, 1, groups)
+				c.Einsum("mk,kn->mn", a, full)
+				return c
+			},
+			args: [][]*tensor.Tensor{perDevice([]int{m, k}), perDevice([]int{k, nn})},
+			n:    n,
+		},
+		{
+			name: "ag-contracting",
+			build: func() *hlo.Computation {
+				c := hlo.NewComputation("ag2")
+				a := c.Parameter(0, "a", []int{m, k})
+				b := c.Parameter(1, "b", []int{k * n, nn})
+				full := c.AllGather(a, 1, groups)
+				c.Einsum("mk,kn->mn", full, b)
+				return c
+			},
+			args: [][]*tensor.Tensor{perDevice([]int{m, k}), {tensor.Rand(rng, k*n, nn)}},
+			n:    n,
+		},
+		{
+			name: "ag-batch",
+			build: func() *hlo.Computation {
+				c := hlo.NewComputation("ag3")
+				a := c.Parameter(0, "a", []int{g, m, k})
+				b := c.Parameter(1, "b", []int{g * n, k, nn})
+				full := c.AllGather(a, 0, groups)
+				c.Einsum("gmk,gkn->gmn", full, b)
+				return c
+			},
+			args: [][]*tensor.Tensor{perDevice([]int{g, m, k}), {tensor.Rand(rng, g*n, k, nn)}},
+			n:    n,
+		},
+		{
+			name: "rs-lhs",
+			build: func() *hlo.Computation {
+				c := hlo.NewComputation("rs")
+				a := c.Parameter(0, "a", []int{m * n, k})
+				b := c.Parameter(1, "b", []int{k, nn})
+				ein := c.Einsum("mk,kn->mn", a, b)
+				c.ReduceScatter(ein, 0, groups)
+				return c
+			},
+			args: [][]*tensor.Tensor{perDevice([]int{m * n, k}), perDevice([]int{k, nn})},
+			n:    n,
+		},
+		{
+			name: "rs-rhs",
+			build: func() *hlo.Computation {
+				c := hlo.NewComputation("rsr")
+				a := c.Parameter(0, "a", []int{m, k})
+				b := c.Parameter(1, "b", []int{k, nn * n})
+				ein := c.Einsum("mk,kn->mn", a, b)
+				c.ReduceScatter(ein, 1, groups)
+				return c
+			},
+			args: [][]*tensor.Tensor{perDevice([]int{m, k}), perDevice([]int{k, nn * n})},
+			n:    n,
+		},
+	}
+}
+
+// forceOpts returns pipeline options that decompose unconditionally.
+func forceOpts(unroll, bidi bool) core.Options {
+	return core.Options{
+		Spec:                  machine.TPUv4(),
+		Unroll:                unroll,
+		Bidirectional:         bidi,
+		UseCostModel:          false,
+		Scheduler:             core.SchedulerBottomUp,
+		FuseAddIntoEinsum:     true,
+		OverlapFriendlyFusion: true,
+	}
+}
+
+// variant is one pipeline configuration to cross-validate the runtime
+// against the interpreter on.
+type variant struct {
+	name  string
+	apply func(c *hlo.Computation) error
+}
+
+func variants() []variant {
+	pipeline := func(opts core.Options) func(*hlo.Computation) error {
+		return func(c *hlo.Computation) error {
+			report, err := core.Apply(c, opts)
+			if err != nil {
+				return err
+			}
+			if report.SitesDecomposed == 0 {
+				return fmt.Errorf("pipeline decomposed nothing (found %d sites)", report.SitesFound)
+			}
+			return nil
+		}
+	}
+	rolled := core.Options{Spec: machine.TPUv4(), Rolled: true, UseCostModel: false, Scheduler: core.SchedulerNone}
+	return []variant{
+		{"blocking", func(*hlo.Computation) error { return nil }},
+		{"rolled", pipeline(rolled)},
+		{"decomposed", pipeline(forceOpts(false, false))},
+		{"unrolled", pipeline(forceOpts(true, false))},
+		{"bidirectional", pipeline(forceOpts(false, true))},
+		{"unrolled-bidirectional", pipeline(forceOpts(true, true))},
+	}
+}
+
+// TestCrossValidateGolden checks, for every golden decomposition case
+// and every pipeline variant, that the concurrent runtime's per-device
+// outputs are bit-identical to the lockstep interpreter's on the same
+// transformed program — and numerically equal to the untransformed
+// baseline. This is the runtime's correctness anchor.
+func TestCrossValidateGolden(t *testing.T) {
+	const n = 4
+	for _, v := range variants() {
+		rng := rand.New(rand.NewSource(7))
+		for _, site := range goldenSites(n, rng) {
+			t.Run(site.name+"/"+v.name, func(t *testing.T) {
+				base := site.build()
+				ref, err := sim.Interpret(base, site.n, site.args)
+				if err != nil {
+					t.Fatalf("baseline interpret: %v", err)
+				}
+
+				transformed := site.build()
+				if err := v.apply(transformed); err != nil {
+					t.Fatalf("apply: %v", err)
+				}
+				want, err := sim.Interpret(transformed, site.n, site.args)
+				if err != nil {
+					t.Fatalf("transformed interpret: %v", err)
+				}
+
+				res, err := runtime.Run(transformed, site.n, site.args, runtime.Options{})
+				if err != nil {
+					t.Fatalf("runtime run: %v", err)
+				}
+				for d := 0; d < site.n; d++ {
+					if !res.Values[d].Equal(want[d]) {
+						t.Fatalf("device %d: runtime diverges bitwise from interpreter by %v",
+							d, res.Values[d].MaxDifference(want[d]))
+					}
+					if !res.Values[d].AllClose(ref[d], 1e-9) {
+						t.Fatalf("device %d: runtime diverges from baseline by %v",
+							d, res.Values[d].MaxDifference(ref[d]))
+					}
+				}
+				if res.Breakdown.StepTime <= 0 {
+					t.Fatalf("measured step time %v, want > 0", res.Breakdown.StepTime)
+				}
+			})
+		}
+	}
+}
+
+// TestInteriorValues checks the All map against sim.InterpretAll for
+// every top-level instruction of a scheduled program, not just the root.
+func TestInteriorValues(t *testing.T) {
+	const n = 4
+	rng := rand.New(rand.NewSource(11))
+	site := goldenSites(n, rng)[0]
+	c := site.build()
+	if _, err := core.Apply(c, forceOpts(true, true)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.InterpretAll(c, n, site.args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.Run(c, n, site.args, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range c.Instructions() {
+		for d := 0; d < n; d++ {
+			if !res.All[in][d].Equal(want[in][d]) {
+				t.Fatalf("%s device %d: runtime value diverges from interpreter", in.Name, d)
+			}
+		}
+	}
+}
+
+// TestSingleDevice runs a degenerate one-device ring end to end.
+func TestSingleDevice(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	site := goldenSites(1, rng)[0]
+	c := site.build()
+	want, err := sim.Interpret(c, 1, site.args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.Run(c, 1, site.args, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Values[0].Equal(want[0]) {
+		t.Fatal("single-device runtime diverges from interpreter")
+	}
+}
+
+// TestBlockingPermute exercises the blocking CollectivePermute path,
+// including a device left out of the pairs (which must receive zeros).
+func TestBlockingPermute(t *testing.T) {
+	const n = 3
+	build := func() *hlo.Computation {
+		c := hlo.NewComputation("perm")
+		a := c.Parameter(0, "a", []int{2, 3})
+		c.CollectivePermute(a, []hlo.SourceTargetPair{{Source: 0, Target: 1}, {Source: 1, Target: 0}})
+		return c
+	}
+	rng := rand.New(rand.NewSource(5))
+	args := [][]*tensor.Tensor{{tensor.Rand(rng, 2, 3), tensor.Rand(rng, 2, 3), tensor.Rand(rng, 2, 3)}}
+	c := build()
+	want, err := sim.Interpret(c, n, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.Run(build(), n, args, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < n; d++ {
+		if !res.Values[d].Equal(want[d]) {
+			t.Fatalf("device %d diverges", d)
+		}
+	}
+}
+
+// TestValidation checks that malformed runs fail fast with an error
+// instead of deadlocking the device goroutines.
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	site := goldenSites(4, rng)[0]
+
+	if _, err := runtime.Run(site.build(), 0, site.args, runtime.Options{}); err == nil {
+		t.Error("want error for zero devices")
+	}
+	if _, err := runtime.Run(site.build(), 4, site.args[:1], runtime.Options{}); err == nil {
+		t.Error("want error for missing argument")
+	}
+	// A group collective whose groups miss a device would hang its
+	// rendezvous; validation must reject it.
+	c := hlo.NewComputation("partial")
+	a := c.Parameter(0, "a", []int{2, 2})
+	c.AllGather(a, 0, [][]int{{0, 1}})
+	args := [][]*tensor.Tensor{{tensor.Rand(rng, 2, 2)}}
+	if _, err := runtime.Run(c, 3, args, runtime.Options{}); err == nil {
+		t.Error("want error for device outside every collective group")
+	}
+	// Wrong-shaped argument.
+	bad := [][]*tensor.Tensor{{tensor.Rand(rng, 3, 3)}, site.args[1]}
+	if _, err := runtime.Run(site.build(), 4, bad, runtime.Options{}); err == nil {
+		t.Error("want error for mis-shaped argument")
+	}
+}
+
+// TestTraceRecording runs a decomposed program with tracing on and
+// checks the recorded spans land on the simulator's pid/tid tracks,
+// include both compute and transfer events, respect the device window,
+// and serialize as a Chrome trace.
+func TestTraceRecording(t *testing.T) {
+	const n = 4
+	rng := rand.New(rand.NewSource(13))
+	site := goldenSites(n, rng)[0]
+	c := site.build()
+	if _, err := core.Apply(c, forceOpts(false, false)); err != nil {
+		t.Fatal(err)
+	}
+	opts := runtime.Options{
+		Spec:         machine.TPUv4(),
+		TimeScale:    200,
+		Trace:        true,
+		TraceDevices: 2,
+	}
+	res, err := runtime.Run(c, n, site.args, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	var computes, transfers int
+	for _, ev := range res.Trace {
+		if ev.PID >= 2 {
+			t.Fatalf("event %s on device %d, window is 2", ev.Name, ev.PID)
+		}
+		switch ev.TID {
+		case sim.TraceTIDCompute:
+			computes++
+		case sim.TraceTIDTransfer:
+			transfers++
+		default:
+			t.Fatalf("event %s on unknown track %d", ev.Name, ev.TID)
+		}
+		if ev.Ph != "X" || ev.Dur < 0 {
+			t.Fatalf("event %s is not a well-formed complete span", ev.Name)
+		}
+	}
+	if computes == 0 || transfers == 0 {
+		t.Fatalf("want both compute and transfer spans, got %d/%d", computes, transfers)
+	}
+	if _, err := sim.TraceJSON(res.Trace); err != nil {
+		t.Fatalf("trace serialization: %v", err)
+	}
+	if res.Breakdown.AsyncTransfers == 0 || res.Breakdown.PeakInFlight == 0 {
+		t.Fatalf("breakdown did not observe async transfers: %+v", res.Breakdown)
+	}
+	if res.Breakdown.CollectiveWire <= 0 {
+		t.Fatalf("breakdown recorded no wire time: %+v", res.Breakdown)
+	}
+}

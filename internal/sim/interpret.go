@@ -130,7 +130,7 @@ func runSequence(instrs []*hlo.Instruction, values map[*hlo.Instruction][]*tenso
 				for i, op := range in.Operands {
 					ops[i] = values[op][d]
 				}
-				v, err := evalLocal(in, ops, d, iter)
+				v, err := EvalLocal(in, ops, d, iter)
 				if err != nil {
 					return err
 				}
@@ -214,10 +214,13 @@ func evalGroupCollective(in *hlo.Instruction, src, out []*tensor.Tensor) error {
 	return nil
 }
 
-// evalLocal evaluates a device-local instruction on one device's operand
-// values. pid and iter resolve partition- and iteration-dependent
-// offsets.
-func evalLocal(in *hlo.Instruction, ops []*tensor.Tensor, pid, iter int) (*tensor.Tensor, error) {
+// EvalLocal evaluates a device-local instruction (hlo.OpCode.
+// IsDeviceLocal) on one device's operand values. pid and iter resolve
+// partition- and iteration-dependent offsets. It is the shared execution
+// hook: the lockstep interpreter and the concurrent goroutine runtime
+// (internal/runtime) both evaluate local instructions through it, which
+// is what makes their results bit-identical by construction.
+func EvalLocal(in *hlo.Instruction, ops []*tensor.Tensor, pid, iter int) (*tensor.Tensor, error) {
 	switch in.Op {
 	case hlo.OpZero:
 		return tensor.New(in.Shape...), nil
@@ -268,7 +271,7 @@ func evalFusion(f *hlo.Instruction, ops []*tensor.Tensor, pid, iter int) (*tenso
 		for i, op := range in.Operands {
 			inner[i] = vals[op]
 		}
-		v, err := evalLocal(in, inner, pid, iter)
+		v, err := EvalLocal(in, inner, pid, iter)
 		if err != nil {
 			return nil, fmt.Errorf("sim: fusion %s: %w", f.Name, err)
 		}

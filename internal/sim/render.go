@@ -65,7 +65,7 @@ func RenderTimeline(events []TraceEvent, width int) string {
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Dur > sorted[j].Dur })
 	for _, e := range sorted {
 		row := rows[e.PID].compute
-		if e.TID == traceTIDTransfer {
+		if e.TID == TraceTIDTransfer {
 			row = rows[e.PID].transfer
 		}
 		lo := int(e.TS / bucket)

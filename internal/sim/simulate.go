@@ -162,7 +162,7 @@ func (st *simState) exec(in *hlo.Instruction) error {
 				arr[tgt] = arrival
 				outstanding[d] = append(outstanding[d], arrival)
 				wire[d] += t
-				st.record(d, traceTIDTransfer, "transfer", in.Name, depart, t)
+				st.record(d, TraceTIDTransfer, "transfer", in.Name, depart, t)
 				if len(outstanding[d]) > st.peakInFlight {
 					st.peakInFlight = len(outstanding[d])
 				}
@@ -183,7 +183,7 @@ func (st *simState) exec(in *hlo.Instruction) error {
 				}
 				if arr[d] > now[d] {
 					exposed[d] += arr[d] - now[d]
-					st.record(d, traceTIDCompute, "stall", in.Name, now[d], arr[d]-now[d])
+					st.record(d, TraceTIDCompute, "stall", in.Name, now[d], arr[d]-now[d])
 					now[d] = arr[d]
 				}
 			}
@@ -201,7 +201,7 @@ func (st *simState) exec(in *hlo.Instruction) error {
 				arrival := now[src] + t
 				if arrival > newNow[d] {
 					exposed[d] += arrival - newNow[d]
-					st.record(d, traceTIDCompute, "collective", in.Name, newNow[d], arrival-newNow[d])
+					st.record(d, TraceTIDCompute, "collective", in.Name, newNow[d], arrival-newNow[d])
 					newNow[d] = arrival
 				}
 			}
@@ -224,7 +224,7 @@ func (st *simState) exec(in *hlo.Instruction) error {
 				finish := barrier + cost
 				for _, d := range group {
 					exposed[d] += finish - now[d]
-					st.record(d, traceTIDCompute, "collective", in.Name, now[d], finish-now[d])
+					st.record(d, TraceTIDCompute, "collective", in.Name, now[d], finish-now[d])
 					now[d] = finish
 					wire[d] += cost
 				}
@@ -249,7 +249,7 @@ func (st *simState) exec(in *hlo.Instruction) error {
 		default:
 			cost := spec.InstructionCost(in)
 			for d := 0; d < numDevices; d++ {
-				st.record(d, traceTIDCompute, "compute", in.Name, now[d], cost)
+				st.record(d, TraceTIDCompute, "compute", in.Name, now[d], cost)
 				now[d] += cost
 				st.compute[d] += cost
 			}

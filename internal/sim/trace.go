@@ -23,19 +23,26 @@ type TraceEvent struct {
 }
 
 const (
-	traceTIDCompute  = 0
-	traceTIDTransfer = 1
+	// TraceTIDCompute and TraceTIDTransfer are the tid values of the
+	// two per-device tracks: the compute pipe and the transfer engine.
+	// The concurrent runtime (internal/runtime) emits events on the
+	// same tracks so real and simulated traces line up in Perfetto.
+	TraceTIDCompute  = 0
+	TraceTIDTransfer = 1
 
-	// traceMaxDevices bounds the recorded devices; SPMD programs are
-	// symmetric, so a handful of adjacent devices shows the whole
-	// picture without gigabyte traces.
-	traceMaxDevices = 8
+	// TraceMaxDevices bounds the recorded devices: events for devices
+	// with pid >= TraceMaxDevices are deliberately dropped. SPMD
+	// programs are symmetric, so a handful of adjacent devices shows
+	// the whole picture without gigabyte traces.
+	TraceMaxDevices = 8
 )
 
 // SimulateTrace runs the timing simulation and additionally returns a
 // per-device event timeline for the first few devices: compute spans,
 // blocking collective spans, asynchronous transfer spans (on the
-// transfer-engine track) and exposed stalls.
+// transfer-engine track) and exposed stalls. Only devices
+// 0..TraceMaxDevices-1 are recorded; events for devices beyond the
+// window are dropped, not merged.
 func SimulateTrace(c *hlo.Computation, numDevices int, spec machine.Spec) (Breakdown, []TraceEvent, error) {
 	if err := spec.Validate(); err != nil {
 		return Breakdown{}, nil, err
@@ -55,8 +62,8 @@ func SimulateTrace(c *hlo.Computation, numDevices int, spec machine.Spec) (Break
 		arrivals:     map[*hlo.Instruction][]float64{},
 		traceDevices: numDevices,
 	}
-	if st.traceDevices > traceMaxDevices {
-		st.traceDevices = traceMaxDevices
+	if st.traceDevices > TraceMaxDevices {
+		st.traceDevices = TraceMaxDevices
 	}
 	for _, in := range c.Instructions() {
 		if err := st.exec(in); err != nil {

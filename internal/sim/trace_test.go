@@ -79,17 +79,42 @@ func TestTraceJSONWellFormed(t *testing.T) {
 }
 
 func TestTraceDeviceWindow(t *testing.T) {
-	// Many devices: only the first traceMaxDevices are recorded.
+	// The recording window is deliberately part of the trace contract:
+	// consumers (and the concurrent runtime, which emits on the same
+	// tracks) rely on devices >= 8 being dropped, not merged.
+	if TraceMaxDevices != 8 {
+		t.Fatalf("TraceMaxDevices = %d, the documented window is 8", TraceMaxDevices)
+	}
 	c := hlo.NewComputation("many")
 	a := c.Parameter(0, "a", []int{128, 128})
 	c.Einsum("mk,kn->mn", a, a)
-	_, events, err := SimulateTrace(c, 32, machine.TPUv4())
+	const devices = 32
+	bd, events, err := SimulateTrace(c, devices, machine.TPUv4())
 	if err != nil {
 		t.Fatal(err)
 	}
+	seen := map[int]int{}
 	for _, e := range events {
-		if e.PID >= traceMaxDevices {
+		if e.PID >= TraceMaxDevices {
 			t.Fatalf("event recorded for device %d beyond the window", e.PID)
 		}
+		seen[e.PID]++
+	}
+	// Every device inside the window is recorded; the einsum runs on
+	// all 32 devices, so a missing pid would mean the window truncated
+	// the wrong end.
+	for d := 0; d < TraceMaxDevices; d++ {
+		if seen[d] == 0 {
+			t.Fatalf("no events for in-window device %d (got pids %v)", d, seen)
+		}
+	}
+	// Dropping events must not perturb the simulation itself: the
+	// breakdown still averages over all 32 devices.
+	plain, err := Simulate(c, devices, machine.TPUv4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.StepTime != bd.StepTime || plain.Compute != bd.Compute {
+		t.Fatalf("truncation changed the simulation: %+v vs %+v", bd, plain)
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"overlap/internal/hlo"
 	"overlap/internal/machine"
 	"overlap/internal/models"
+	"overlap/internal/runtime"
 	"overlap/internal/sim"
 	"overlap/internal/tensor"
 	"overlap/internal/topology"
@@ -70,6 +71,12 @@ type (
 	SchedulerKind = core.SchedulerKind
 	// MemoryStats reports a schedule's live-byte profile.
 	MemoryStats = hlo.MemoryStats
+	// RunOptions configures the concurrent goroutine runtime.
+	RunOptions = runtime.Options
+	// RunResult is a concurrent execution's values and measured timings.
+	RunResult = runtime.Result
+	// TraceEvent is one Chrome-trace span (simulated or measured).
+	TraceEvent = sim.TraceEvent
 )
 
 // Scheduler kinds (§5.2).
@@ -116,6 +123,22 @@ func Simulate(c *Computation, numDevices int, spec MachineSpec) (Breakdown, erro
 func Interpret(c *Computation, numDevices int, args [][]*Tensor) ([]*Tensor, error) {
 	return sim.Interpret(c, numDevices, args)
 }
+
+// Run executes the computation concurrently: one goroutine per device,
+// channel-backed links, genuinely asynchronous CollectivePermutes. The
+// result carries per-device values bit-identical to Interpret's plus a
+// breakdown and optional Chrome trace measured from real timestamps.
+func Run(c *Computation, numDevices int, args [][]*Tensor, opts RunOptions) (*RunResult, error) {
+	return runtime.Run(c, numDevices, args, opts)
+}
+
+// DefaultRunOptions returns runtime options that inject wire delays
+// from spec at a scale that makes overlap visible in wall-clock.
+func DefaultRunOptions(spec MachineSpec) RunOptions { return runtime.DefaultOptions(spec) }
+
+// TraceJSON renders trace events (simulated or measured) as a Chrome
+// trace file loadable in Perfetto.
+func TraceJSON(events []TraceEvent) ([]byte, error) { return sim.TraceJSON(events) }
 
 // Gradients appends the backward pass of root (seeded with seed) to the
 // computation and returns the gradient instruction for every wrt entry.
