@@ -8,9 +8,14 @@
 // With no arguments every experiment runs in presentation order. Known
 // experiments: table1 table2 fig1 fig12 fig13 fig14 fig15 fig16 energy
 // inference.
+//
+// With -json each experiment emits one JSON object per line (its id,
+// headline speedup series, and rendered text), so benchmark
+// trajectories can be tracked across revisions with standard tools.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,26 +26,41 @@ import (
 func main() {
 	linkGBs := flag.Float64("link-gbs", 0, "override per-direction link bandwidth (GB/s, 4-byte-element equivalent)")
 	peakTF := flag.Float64("peak-tflops", 0, "override per-chip peak TFLOP/s")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON object per experiment")
 	flag.Parse()
 
 	spec := overlap.TPUv4()
-	if *linkGBs > 0 {
+	if *linkGBs != 0 {
 		spec.LinkBandwidth = *linkGBs * 1e9
 	}
-	if *peakTF > 0 {
+	if *peakTF != 0 {
 		spec.PeakFLOPS = *peakTF * 1e12
+	}
+	if err := spec.Validate(); err != nil {
+		fail(err)
 	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = overlap.ExperimentIDs()
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, id := range ids {
-		out, err := overlap.RunExperiment(id, spec)
+		out, err := overlap.RunExperimentStructured(id, spec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "overlapbench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
-		fmt.Println(out)
+		if *asJSON {
+			if err := enc.Encode(out); err != nil {
+				fail(err)
+			}
+			continue
+		}
+		fmt.Println(out.Text)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "overlapbench: %v\n", err)
+	os.Exit(1)
 }

@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strings"
 
 	"overlap"
 	"overlap/internal/core"
@@ -46,7 +45,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	mini, err := miniature(cfg, *devices, *dim)
+	mini, err := models.Miniature(cfg, *devices, *dim)
 	if err != nil {
 		fail(err)
 	}
@@ -131,32 +130,6 @@ func runMode(cfg models.Config, mode string, devices int, timeScale float64, tra
 		fmt.Printf("          wrote %d trace events to %s\n", len(res.Trace), traceFile)
 	}
 	return nil
-}
-
-// miniature shrinks a Table 1/2 configuration onto a 1×devices ring
-// while preserving its architecture and the divisibility constraints of
-// its partitioning: every collective the full model's layer emits
-// appears in the miniature too, just over small tensors.
-func miniature(cfg models.Config, devices, dim int) (models.Config, error) {
-	if devices < 1 {
-		return cfg, fmt.Errorf("need at least one device")
-	}
-	if dim < 1 {
-		return cfg, fmt.Errorf("need a positive -dim")
-	}
-	cfg.Name = strings.ToLower(cfg.Name) + "-mini"
-	cfg.Layers = 1
-	cfg.Chips = devices
-	cfg.MeshX, cfg.MeshY = 1, devices
-	cfg.HeadDim = dim
-	cfg.ModelDim = dim * devices
-	cfg.FFDim = 2 * cfg.ModelDim
-	cfg.SeqLen = 4 * devices
-	cfg.Batch = devices
-	if cfg.Arch == models.ArchMoE {
-		cfg.Experts = devices
-	}
-	return cfg, cfg.Validate()
 }
 
 // randomArgs supplies one replicated random tensor per parameter: the

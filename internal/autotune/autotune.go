@@ -1,0 +1,416 @@
+// Package autotune searches the overlap pipeline's variant space for
+// the configuration that actually runs fastest, instead of trusting the
+// hand-set core.Options knobs or the §5.5 analytic estimate alone.
+//
+// The search is two-stage, mirroring how the paper's "apply only when
+// beneficial" rule generalizes from one site to a whole program:
+//
+//  1. every enumerated candidate (core.EnumerateOptions, plus the
+//     untransformed blocking baseline) is applied to a clone of the
+//     program and ranked by the discrete-event simulator's predicted
+//     step time — cheap, analytic, §5.5's cost model writ large;
+//  2. the top-K predicted candidates (always including the paper's
+//     DefaultOptions configuration, so tuning can never regress it) are
+//     executed for real on the concurrent goroutine runtime, each run
+//     cross-checked bit-identical against the lockstep interpreter, and
+//     the winner is picked by measured wall-clock.
+//
+// Because stage 2 observes real breakdowns, the tuner also *calibrates*
+// the machine model: it fits effective compute throughput, link
+// bandwidth and per-op overhead so simulated and measured times track
+// each other, and reports the residual error of the fit (calibrate.go).
+//
+// Tuning the same program on the same machine twice is free: decisions
+// persist in a JSON cache keyed by (program fingerprint, machine spec
+// fingerprint, device count), and a warm hit performs zero runtime
+// executions (cache.go).
+package autotune
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"overlap/internal/core"
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/runtime"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+// Options configures one Tune call.
+type Options struct {
+	// Spec is the machine model candidates are ranked and executed
+	// against; it must validate.
+	Spec machine.Spec
+
+	// TopK bounds how many distinct candidates stage 2 executes on the
+	// runtime (the DefaultOptions configuration is added on top when it
+	// does not rank there). Zero means 3.
+	TopK int
+
+	// TimeScale is the runtime's wire-delay injection scale (see
+	// runtime.Options); zero means 200, which keeps miniature tunes fast
+	// while still making communication visible in wall-clock. Negative
+	// disables injection (measured times then reflect compute only).
+	TimeScale float64
+
+	// Repeats is how many times each stage-2 candidate runs; the minimum
+	// wall-clock is kept, damping scheduler noise. Zero means 1.
+	Repeats int
+
+	// CachePath overrides the decision-cache location; empty means the
+	// per-user default (DefaultCachePath).
+	CachePath string
+
+	// DisableCache skips both cache lookup and store.
+	DisableCache bool
+
+	// Calibrate fits the machine spec to the measured breakdowns and
+	// reports the residual (Result.Calibration, Result.Residual).
+	Calibrate bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopK == 0 {
+		o.TopK = 3
+	}
+	if o.TimeScale == 0 {
+		o.TimeScale = 200
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 1
+	}
+	return o
+}
+
+// Candidate is one enumerated configuration and what the search learned
+// about it.
+type Candidate struct {
+	// Name is a short human-readable label ("baseline", "rolled", or the
+	// knob fingerprint).
+	Name string
+	// Opts is the pipeline configuration; meaningless when Baseline.
+	Opts core.Options
+	// Baseline marks the untransformed blocking program (no Apply call).
+	Baseline bool
+
+	// Predicted is the simulator's breakdown of the transformed program,
+	// in modeled seconds.
+	Predicted sim.Breakdown
+	// Measured is the runtime's breakdown of the fastest repeat, in
+	// wall-clock seconds; valid only when Executed.
+	Measured sim.Breakdown
+	// MeasuredWall is the fastest repeat's wall-clock step time.
+	MeasuredWall float64
+	// Executed reports whether stage 2 ran this candidate.
+	Executed bool
+	// Checked reports that the runtime outputs were verified
+	// bit-identical against the lockstep interpreter.
+	Checked bool
+	// DuplicateOf names an earlier candidate that produced a
+	// byte-identical transformed program; duplicates are ranked and
+	// executed only once, under the canonical candidate's name.
+	DuplicateOf string
+	// Err records why a candidate dropped out (apply or simulate
+	// failure); such candidates are never executed.
+	Err string
+
+	transformed *hlo.Computation
+}
+
+// Result is what one Tune call decided.
+type Result struct {
+	// Best is the winning configuration; apply it with ApplyBest or
+	// core.Apply. Meaningless when BestIsBaseline.
+	Best core.Options
+	// BestIsBaseline reports that the untransformed blocking program won
+	// — the §5.5 "apply only when beneficial" verdict at whole-program
+	// granularity.
+	BestIsBaseline bool
+	// BestName is the winner's candidate name.
+	BestName string
+	// PredictedWall and MeasuredWall are the winner's simulated step
+	// time (modeled seconds) and measured step time (wall seconds).
+	PredictedWall, MeasuredWall float64
+
+	// Candidates lists every enumerated configuration, sorted by
+	// predicted step time (errored candidates last).
+	Candidates []Candidate
+	// Executions counts runtime runs performed; zero on a warm cache
+	// hit.
+	Executions int
+
+	// CacheHit reports the decision came from the cache; CachePath is
+	// where the cache lives (empty when disabled).
+	CacheHit  bool
+	CachePath string
+	// Fingerprint identifies the (program, spec, devices) key the
+	// decision is cached under.
+	Fingerprint string
+
+	// Calibration is the fitted rescaling of the machine spec (identity
+	// unless Options.Calibrate was set and at least two candidates were
+	// measured); CalibratedSpec is the spec with it applied, and
+	// Residual is the root-mean-square relative step-time error of the
+	// calibrated simulator against the measurements (-1 when no fit was
+	// possible).
+	Calibration    machine.Calibration
+	CalibratedSpec machine.Spec
+	Residual       float64
+}
+
+// ApplyBest applies the winning configuration to c in place; when the
+// blocking baseline won it leaves c untouched and returns an empty
+// report.
+func (r *Result) ApplyBest(c *hlo.Computation) (core.Report, error) {
+	if r.BestIsBaseline {
+		return core.Report{}, nil
+	}
+	return core.Apply(c, r.Best)
+}
+
+// ProgramFingerprint returns the cache identity of a computation: a
+// hash of its printed form, so any structural change re-tunes.
+func ProgramFingerprint(c *hlo.Computation) string {
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(c.Format())))[:16]
+}
+
+// Tune searches the pipeline variant space for the computation and
+// returns the fastest configuration by measured wall-clock. c is not
+// modified; args follows sim.Interpret's convention (args[i][d] is
+// parameter i's value on device d, a single entry replicates).
+func Tune(c *hlo.Computation, numDevices int, args [][]*tensor.Tensor, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if c == nil {
+		return nil, fmt.Errorf("autotune: nil computation")
+	}
+	if numDevices < 1 {
+		return nil, fmt.Errorf("autotune: need at least one device")
+	}
+	if err := opts.Spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Fingerprint:    cacheKey(c, opts.Spec, numDevices),
+		Calibration:    machine.Identity(),
+		CalibratedSpec: opts.Spec,
+		Residual:       -1,
+	}
+
+	// Warm path: a cached decision answers without touching the runtime.
+	if !opts.DisableCache {
+		res.CachePath = cachePath(opts)
+		if entry, ok := cacheLookup(res.CachePath, res.Fingerprint); ok {
+			entry.fill(res, opts.Spec)
+			return res, nil
+		}
+	}
+
+	// Stage 1: enumerate, transform clones, rank by simulated time.
+	cands := enumerate(c, numDevices, opts)
+	stage1(cands, c, numDevices, opts)
+	res.Candidates = rank(cands)
+
+	// Stage 2: execute the top-K (plus the paper's default) for real.
+	if err := stage2(res, c, numDevices, args, opts); err != nil {
+		return nil, err
+	}
+
+	if opts.Calibrate {
+		calibrate(res, numDevices, opts)
+	}
+
+	if !opts.DisableCache {
+		if err := cacheStore(res.CachePath, res.Fingerprint, res); err != nil {
+			return nil, fmt.Errorf("autotune: storing decision: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// enumerate builds the candidate list: the blocking baseline plus every
+// configuration core.EnumerateOptions yields.
+func enumerate(c *hlo.Computation, numDevices int, opts Options) []*Candidate {
+	cands := []*Candidate{{Name: "baseline", Baseline: true}}
+	for _, o := range core.EnumerateOptions(opts.Spec, numDevices, c) {
+		name := o.Fingerprint()
+		if o.Rolled {
+			name = "rolled"
+		}
+		cands = append(cands, &Candidate{Name: name, Opts: o})
+	}
+	return cands
+}
+
+// stage1 transforms a clone of the program per candidate, dedups
+// byte-identical results, and simulates each unique survivor.
+func stage1(cands []*Candidate, c *hlo.Computation, numDevices int, opts Options) {
+	seen := map[string]*Candidate{}
+	for _, cand := range cands {
+		clone := c.Clone()
+		if !cand.Baseline {
+			if _, err := core.Apply(clone, cand.Opts); err != nil {
+				cand.Err = err.Error()
+				continue
+			}
+		}
+		text := clone.Format()
+		if first, dup := seen[text]; dup {
+			cand.DuplicateOf = first.Name
+			cand.Predicted = first.Predicted
+			continue
+		}
+		seen[text] = cand
+		cand.transformed = clone
+		bd, err := sim.Simulate(clone, numDevices, opts.Spec)
+		if err != nil {
+			cand.Err = err.Error()
+			cand.transformed = nil
+			delete(seen, text)
+			continue
+		}
+		cand.Predicted = bd
+	}
+}
+
+// rank orders candidates by predicted step time; duplicates follow
+// their canonical candidate, errored candidates sink to the end.
+func rank(cands []*Candidate) []Candidate {
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		switch {
+		case (a.Err == "") != (b.Err == ""):
+			return a.Err == ""
+		case a.Err != "":
+			return false
+		}
+		if a.Predicted.StepTime != b.Predicted.StepTime {
+			return a.Predicted.StepTime < b.Predicted.StepTime
+		}
+		// Ties (e.g. duplicates): keep unique candidates first.
+		return a.transformed != nil && b.transformed == nil
+	})
+	out := make([]Candidate, len(cands))
+	for i, c := range cands {
+		out[i] = *c
+	}
+	return out
+}
+
+// stage2 executes the top-K unique candidates — forcing the paper's
+// DefaultOptions configuration into the set so the tuned result can
+// never be slower than it in the same measurement session — and picks
+// the fastest by wall-clock.
+func stage2(res *Result, c *hlo.Computation, numDevices int, args [][]*tensor.Tensor, opts Options) error {
+	defaultFP := defaultFingerprint(opts.Spec)
+	toRun := []int{}
+	haveDefault := false
+	for i := range res.Candidates {
+		cand := &res.Candidates[i]
+		if cand.transformed == nil || len(toRun) >= opts.TopK {
+			continue
+		}
+		toRun = append(toRun, i)
+		if cand.coversFingerprint(defaultFP, res.Candidates) {
+			haveDefault = true
+		}
+	}
+	if !haveDefault {
+		for i := range res.Candidates {
+			cand := &res.Candidates[i]
+			if cand.transformed != nil && cand.coversFingerprint(defaultFP, res.Candidates) {
+				toRun = append(toRun, i)
+				haveDefault = true
+				break
+			}
+		}
+	}
+	if len(toRun) == 0 {
+		return fmt.Errorf("autotune: no candidate survived stage 1 (first error: %s)", firstErr(res.Candidates))
+	}
+
+	ropts := runtime.Options{Spec: opts.Spec, TimeScale: opts.TimeScale}
+
+	// One untimed warmup run: the first execution in a process pays for
+	// thread-pool and allocator spin-up that would otherwise be charged
+	// to whichever candidate happens to run first.
+	if warm, err := runtime.Run(res.Candidates[toRun[0]].transformed, numDevices, args, ropts); err == nil && warm != nil {
+		res.Executions++
+	}
+
+	best := -1
+	for _, i := range toRun {
+		cand := &res.Candidates[i]
+		want, err := sim.Interpret(cand.transformed, numDevices, args)
+		if err != nil {
+			return fmt.Errorf("autotune: interpreting %s: %w", cand.Name, err)
+		}
+		for r := 0; r < opts.Repeats; r++ {
+			run, err := runtime.Run(cand.transformed, numDevices, args, ropts)
+			if err != nil {
+				return fmt.Errorf("autotune: executing %s: %w", cand.Name, err)
+			}
+			res.Executions++
+			if r == 0 {
+				for d := range want {
+					if !run.Values[d].Equal(want[d]) {
+						return fmt.Errorf("autotune: %s: device %d diverges bitwise from the interpreter", cand.Name, d)
+					}
+				}
+				cand.Checked = true
+			}
+			if !cand.Executed || run.Breakdown.StepTime < cand.MeasuredWall {
+				cand.Measured = run.Breakdown
+				cand.MeasuredWall = run.Breakdown.StepTime
+			}
+			cand.Executed = true
+		}
+		if best < 0 || cand.MeasuredWall < res.Candidates[best].MeasuredWall {
+			best = i
+		}
+	}
+
+	w := res.Candidates[best]
+	res.Best = w.Opts
+	res.BestIsBaseline = w.Baseline
+	res.BestName = w.Name
+	res.PredictedWall = w.Predicted.StepTime
+	res.MeasuredWall = w.MeasuredWall
+	return nil
+}
+
+// coversFingerprint reports whether this candidate is, or canonically
+// stands in for (via dedup), the configuration with the given knob
+// fingerprint.
+func (cand *Candidate) coversFingerprint(fp string, all []Candidate) bool {
+	if !cand.Baseline && cand.Opts.Fingerprint() == fp {
+		return true
+	}
+	for _, other := range all {
+		if other.DuplicateOf == cand.Name && !other.Baseline && other.Opts.Fingerprint() == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// defaultFingerprint is the knob identity of the paper's deployed
+// configuration within the enumerated space (cost-model gate off — the
+// search itself is the gate).
+func defaultFingerprint(spec machine.Spec) string {
+	o := core.DefaultOptions(spec)
+	o.UseCostModel = false
+	return o.Fingerprint()
+}
+
+func firstErr(cands []Candidate) string {
+	for _, c := range cands {
+		if c.Err != "" {
+			return c.Err
+		}
+	}
+	return "none"
+}

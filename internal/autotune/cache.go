@@ -1,0 +1,201 @@
+package autotune
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"overlap/internal/core"
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+)
+
+// cacheVersion invalidates every stored decision when the entry layout
+// or the meaning of a knob changes.
+const cacheVersion = 1
+
+// DefaultCachePath returns where decisions persist when Options does
+// not say otherwise: <user cache dir>/overlap/autotune.json, falling
+// back to the temp dir when the platform reports no cache dir.
+func DefaultCachePath() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		base = os.TempDir()
+	}
+	return filepath.Join(base, "overlap", "autotune.json")
+}
+
+func cachePath(opts Options) string {
+	if opts.CachePath != "" {
+		return opts.CachePath
+	}
+	return DefaultCachePath()
+}
+
+// cacheKey is the decision identity: program shape, machine spec, and
+// ring size. Anything else (TopK, repeats, wire scale) only affects how
+// hard the search looks, not what it is searching for.
+func cacheKey(c *hlo.Computation, spec machine.Spec, numDevices int) string {
+	specFP := fmt.Sprintf("%x", sha256.Sum256([]byte(spec.Fingerprint())))[:16]
+	return fmt.Sprintf("%s|%s|n=%d", ProgramFingerprint(c), specFP, numDevices)
+}
+
+// knobs is the on-disk encoding of a winning core.Options — only the
+// rewrite-changing booleans and the scheduler; the spec is part of the
+// cache key, not the entry.
+type knobs struct {
+	Scheduler             string `json:"scheduler"`
+	Unroll                bool   `json:"unroll,omitempty"`
+	Bidirectional         bool   `json:"bidirectional,omitempty"`
+	Rolled                bool   `json:"rolled,omitempty"`
+	FuseAddIntoEinsum     bool   `json:"fuse_add_into_einsum,omitempty"`
+	OverlapFriendlyFusion bool   `json:"overlap_friendly_fusion,omitempty"`
+	RematerializeGathers  bool   `json:"rematerialize_gathers,omitempty"`
+	SplitAllReduce        bool   `json:"split_all_reduce,omitempty"`
+	ConcatToPadMax        bool   `json:"concat_to_pad_max,omitempty"`
+}
+
+func encodeKnobs(o core.Options) knobs {
+	return knobs{
+		Scheduler:             o.Scheduler.String(),
+		Unroll:                o.Unroll,
+		Bidirectional:         o.Bidirectional,
+		Rolled:                o.Rolled,
+		FuseAddIntoEinsum:     o.FuseAddIntoEinsum,
+		OverlapFriendlyFusion: o.OverlapFriendlyFusion,
+		RematerializeGathers:  o.RematerializeGathers,
+		SplitAllReduce:        o.SplitAllReduce,
+		ConcatToPadMax:        o.ConcatToPadMax,
+	}
+}
+
+func (k knobs) decode(spec machine.Spec) core.Options {
+	sched := core.SchedulerNone
+	switch k.Scheduler {
+	case core.SchedulerBottomUp.String():
+		sched = core.SchedulerBottomUp
+	case core.SchedulerTopDown.String():
+		sched = core.SchedulerTopDown
+	}
+	return core.Options{
+		Spec:                  spec,
+		Scheduler:             sched,
+		Unroll:                k.Unroll,
+		Bidirectional:         k.Bidirectional,
+		Rolled:                k.Rolled,
+		FuseAddIntoEinsum:     k.FuseAddIntoEinsum,
+		OverlapFriendlyFusion: k.OverlapFriendlyFusion,
+		RematerializeGathers:  k.RematerializeGathers,
+		SplitAllReduce:        k.SplitAllReduce,
+		ConcatToPadMax:        k.ConcatToPadMax,
+	}
+}
+
+// cacheEntry is one persisted decision.
+type cacheEntry struct {
+	BestName       string              `json:"best_name"`
+	Baseline       bool                `json:"baseline,omitempty"`
+	Options        knobs               `json:"options"`
+	PredictedSec   float64             `json:"predicted_sec"`
+	MeasuredSec    float64             `json:"measured_sec"`
+	Calibration    machine.Calibration `json:"calibration"`
+	Residual       float64             `json:"residual"`
+	Created        string              `json:"created"`
+	Devices        int                 `json:"devices"`
+	SpecName       string              `json:"spec_name"`
+	SearchedUnique int                 `json:"searched_unique"`
+}
+
+// fill reconstitutes a warm-cache Result from a stored entry: the
+// decision and calibration come back, but no candidates, because no
+// search ran.
+func (e cacheEntry) fill(res *Result, spec machine.Spec) {
+	res.CacheHit = true
+	res.BestName = e.BestName
+	res.BestIsBaseline = e.Baseline
+	res.Best = e.Options.decode(spec)
+	res.PredictedWall = e.PredictedSec
+	res.MeasuredWall = e.MeasuredSec
+	res.Residual = e.Residual
+	if e.Calibration != (machine.Calibration{}) {
+		res.Calibration = e.Calibration
+		res.CalibratedSpec = e.Calibration.Apply(spec)
+	}
+}
+
+type cacheFile struct {
+	Version int                   `json:"version"`
+	Entries map[string]cacheEntry `json:"entries"`
+}
+
+// loadCache reads the cache file; a missing, unreadable, corrupt, or
+// version-mismatched file degrades to an empty cache — tuning must
+// never fail because a cache rotted.
+func loadCache(path string) cacheFile {
+	empty := cacheFile{Version: cacheVersion, Entries: map[string]cacheEntry{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return empty
+	}
+	var f cacheFile
+	if json.Unmarshal(data, &f) != nil || f.Version != cacheVersion || f.Entries == nil {
+		return empty
+	}
+	return f
+}
+
+func cacheLookup(path, key string) (cacheEntry, bool) {
+	e, ok := loadCache(path).Entries[key]
+	return e, ok
+}
+
+// cacheStore merges the decision into the cache file, creating the
+// directory as needed. Concurrent tuners may interleave read-modify-
+// write; the loser's other entries survive because the file is re-read
+// immediately before writing.
+func cacheStore(path, key string, res *Result) error {
+	f := loadCache(path)
+	f.Entries[key] = cacheEntry{
+		BestName:       res.BestName,
+		Baseline:       res.BestIsBaseline,
+		Options:        encodeKnobs(res.Best),
+		PredictedSec:   res.PredictedWall,
+		MeasuredSec:    res.MeasuredWall,
+		Calibration:    res.Calibration,
+		Residual:       res.Residual,
+		Created:        time.Now().UTC().Format(time.RFC3339),
+		Devices:        deviceCount(key),
+		SpecName:       res.CalibratedSpec.Name,
+		SearchedUnique: countUnique(res.Candidates),
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func deviceCount(key string) int {
+	var n int
+	if _, err := fmt.Sscanf(key[strings.LastIndex(key, "|n=")+3:], "%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+func countUnique(cands []Candidate) int {
+	n := 0
+	for _, c := range cands {
+		if c.Err == "" && c.DuplicateOf == "" {
+			n++
+		}
+	}
+	return n
+}

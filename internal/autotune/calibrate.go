@@ -1,0 +1,146 @@
+package autotune
+
+import (
+	"math"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/sim"
+)
+
+// calibrate fits the machine spec to the stage-2 measurements so that
+// simulated and measured step times track each other, and records the
+// residual error of the fit.
+//
+// The runtime realizes modeled wire seconds as TimeScale-scaled sleeps
+// but evaluates compute as real Go tensor math, so the two domains
+// drift apart by independent factors. The fit therefore estimates three
+// parameters from the measured breakdowns:
+//
+//   - effective compute throughput, from the measured vs predicted
+//     compute spans (a through-origin least-squares slope);
+//   - effective link bandwidth, from the wire spans the same way;
+//   - per-op overhead, from the per-instruction step-time residual that
+//     remains after the first two corrections.
+//
+// Each factor becomes a machine.Calibration throughput multiplier; the
+// residual is the RMS relative step-time error of the re-simulated,
+// calibrated spec against the measurements.
+func calibrate(res *Result, numDevices int, opts Options) {
+	ts := opts.TimeScale
+	if ts <= 0 {
+		return // wall-clock has no modeled-seconds axis to fit against
+	}
+	measured := []*Candidate{}
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if c.Executed && c.transformed != nil {
+			measured = append(measured, c)
+		}
+	}
+	if len(measured) == 0 {
+		return
+	}
+
+	var predC, measC, predW, measW []float64
+	for _, c := range measured {
+		predC = append(predC, c.Predicted.Compute*ts)
+		measC = append(measC, c.Measured.Compute)
+		predW = append(predW, c.Predicted.CollectiveWire*ts)
+		measW = append(measW, c.Measured.CollectiveWire)
+	}
+	slopeC := clampSlope(originSlope(predC, measC))
+	slopeW := clampSlope(originSlope(predW, measW))
+
+	cal := machine.Calibration{
+		ComputeScale:  1 / slopeC,
+		WireScale:     1 / slopeW,
+		OverheadScale: 1,
+	}
+
+	// With compute and wire corrected, attribute the remaining step-time
+	// residual to per-instruction issue overhead.
+	partial := cal.Apply(opts.Spec)
+	var xs, rs []float64
+	for _, c := range measured {
+		bd, err := sim.Simulate(c.transformed, numDevices, partial)
+		if err != nil {
+			continue
+		}
+		xs = append(xs, float64(opsPerDevice(c.transformed))*ts)
+		rs = append(rs, c.MeasuredWall-bd.StepTime*ts)
+	}
+	var delta, den float64
+	for i := range xs {
+		delta += xs[i] * rs[i]
+		den += xs[i] * xs[i]
+	}
+	if den > 0 {
+		delta /= den
+	}
+	if opts.Spec.OpOverhead > 0 && den > 0 {
+		newOvh := opts.Spec.OpOverhead + delta
+		if newOvh < 0 {
+			newOvh = 0
+		}
+		cal.OverheadScale = clampSlope(newOvh / opts.Spec.OpOverhead)
+	}
+
+	res.Calibration = cal
+	res.CalibratedSpec = cal.Apply(opts.Spec)
+
+	// Residual: how well the calibrated simulator now predicts the
+	// measured step times.
+	var sq float64
+	n := 0
+	for _, c := range measured {
+		bd, err := sim.Simulate(c.transformed, numDevices, res.CalibratedSpec)
+		if err != nil || c.MeasuredWall <= 0 {
+			continue
+		}
+		rel := (bd.StepTime*ts - c.MeasuredWall) / c.MeasuredWall
+		sq += rel * rel
+		n++
+	}
+	if n > 0 {
+		res.Residual = math.Sqrt(sq / float64(n))
+	}
+}
+
+// originSlope returns the least-squares slope of y ≈ s·x through the
+// origin, or 1 when x carries no signal.
+func originSlope(x, y []float64) float64 {
+	var num, den float64
+	for i := range x {
+		num += x[i] * y[i]
+		den += x[i] * x[i]
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+func clampSlope(s float64) float64 {
+	if math.IsNaN(s) || s <= 1e-6 {
+		return 1e-6
+	}
+	if s > 1e6 {
+		return 1e6
+	}
+	return s
+}
+
+// opsPerDevice counts the instructions one device issues in a step,
+// expanding rolled loops by their trip count.
+func opsPerDevice(c *hlo.Computation) int {
+	n := 0
+	for _, in := range c.Instructions() {
+		if in.Op == hlo.OpLoop && in.Body != nil {
+			n += in.TripCount * len(in.Body.Instructions())
+			continue
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+)
+
+// Fingerprint returns a stable textual identity of every knob that
+// changes what Apply emits. The machine spec is deliberately excluded —
+// it prices decisions but, with UseCostModel off, does not alter the
+// rewrite — so autotune can key candidates by program shape and spec
+// separately.
+func (o Options) Fingerprint() string {
+	b := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	return fmt.Sprintf("sched=%s unroll=%d bidi=%d rolled=%d cost=%d fuse=%d friendly=%d remat=%d splitar=%d concat=%d",
+		o.Scheduler, b(o.Unroll), b(o.Bidirectional), b(o.Rolled), b(o.UseCostModel),
+		b(o.FuseAddIntoEinsum), b(o.OverlapFriendlyFusion), b(o.RematerializeGathers),
+		b(o.SplitAllReduce), b(o.ConcatToPadMax))
+}
+
+// EnumerateOptions returns the distinct pipeline configurations worth
+// searching for programs on a ring of ringSize devices — the candidate
+// space of the autotuner. Knob combinations that cannot change the
+// emitted program are pruned:
+//
+//   - Bidirectional on an odd ring falls back to unidirectional, so only
+//     even rings enumerate it;
+//   - Rolled ignores Unroll, Bidirectional and the schedulers (start/done
+//     pairs cannot straddle the loop back-edge), so exactly one rolled
+//     candidate is emitted;
+//   - OverlapFriendlyFusion only matters once FuseAddIntoEinsum is on;
+//   - RematerializeGathers is a no-op unless c (optional) contains a
+//     multi-consumer AllGather.
+//
+// Every candidate has UseCostModel off: the caller's search *replaces*
+// the per-site analytic gate with a whole-program decision. The blocking
+// baseline (do not call Apply at all) is not representable as an Options
+// value and must be added by the caller.
+func EnumerateOptions(spec machine.Spec, ringSize int, c *hlo.Computation) []Options {
+	base := Options{Spec: spec}
+
+	rolled := base
+	rolled.Rolled = true
+	out := []Options{rolled}
+
+	bidis := []bool{false}
+	if ringSize%2 == 0 && ringSize > 1 {
+		bidis = append(bidis, true)
+	}
+	remats := []bool{false}
+	if c == nil || hasMultiConsumerGather(c) {
+		remats = append(remats, true)
+	}
+	type fusion struct{ fuse, friendly bool }
+	fusions := []fusion{{false, false}, {true, false}, {true, true}}
+
+	for _, sched := range []SchedulerKind{SchedulerBottomUp, SchedulerTopDown, SchedulerNone} {
+		for _, unroll := range []bool{false, true} {
+			for _, bidi := range bidis {
+				for _, fu := range fusions {
+					for _, remat := range remats {
+						o := base
+						o.Scheduler = sched
+						o.Unroll = unroll
+						o.Bidirectional = bidi
+						o.FuseAddIntoEinsum = fu.fuse
+						o.OverlapFriendlyFusion = fu.friendly
+						o.RematerializeGathers = remat
+						out = append(out, o)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasMultiConsumerGather reports whether any AllGather feeds more than
+// one consumer — the only shape RematerializeGathers rewrites.
+func hasMultiConsumerGather(c *hlo.Computation) bool {
+	for _, in := range c.Instructions() {
+		if in.Op == hlo.OpAllGather && len(in.Users()) > 1 {
+			return true
+		}
+	}
+	return false
+}

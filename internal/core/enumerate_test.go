@@ -1,0 +1,139 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/topology"
+)
+
+func multiGatherProgram(n int) *hlo.Computation {
+	groups := topology.NewRing(n).AxisGroups(0)
+	c := hlo.NewComputation("multi")
+	a := c.Parameter(0, "a", []int{4, 8})
+	b := c.Parameter(1, "b", []int{8, 6})
+	d := c.Parameter(2, "d", []int{8, 6})
+	full := c.AllGather(a, 0, groups)
+	e1 := c.Einsum("mk,kn->mn", full, b)
+	e2 := c.Einsum("mk,kn->mn", full, d)
+	c.Add(e1, e2)
+	return c
+}
+
+func singleGatherProgram(n int) *hlo.Computation {
+	groups := topology.NewRing(n).AxisGroups(0)
+	c := hlo.NewComputation("single")
+	a := c.Parameter(0, "a", []int{4, 8})
+	b := c.Parameter(1, "b", []int{8, 6})
+	full := c.AllGather(a, 0, groups)
+	c.Einsum("mk,kn->mn", full, b)
+	return c
+}
+
+func TestEnumerateOptionsPruning(t *testing.T) {
+	spec := machine.TPUv4()
+
+	even := EnumerateOptions(spec, 4, singleGatherProgram(4))
+	odd := EnumerateOptions(spec, 5, singleGatherProgram(5))
+
+	count := func(opts []Options, pred func(Options) bool) int {
+		n := 0
+		for _, o := range opts {
+			if pred(o) {
+				n++
+			}
+		}
+		return n
+	}
+
+	if got := count(odd, func(o Options) bool { return o.Bidirectional }); got != 0 {
+		t.Errorf("odd ring enumerated %d bidirectional candidates", got)
+	}
+	if got := count(even, func(o Options) bool { return o.Bidirectional }); got == 0 {
+		t.Error("even ring enumerated no bidirectional candidates")
+	}
+	if got := count(even, func(o Options) bool { return o.Rolled }); got != 1 {
+		t.Errorf("enumerated %d rolled candidates, want exactly 1", got)
+	}
+	if got := count(even, func(o Options) bool { return o.OverlapFriendlyFusion && !o.FuseAddIntoEinsum }); got != 0 {
+		t.Errorf("%d candidates set the fusion heuristic without fusion", got)
+	}
+	if got := count(even, func(o Options) bool { return o.UseCostModel }); got != 0 {
+		t.Errorf("%d candidates left the per-site cost-model gate on", got)
+	}
+
+	// RematerializeGathers only enumerates when the program has a
+	// multi-consumer gather to rewrite.
+	if got := count(even, func(o Options) bool { return o.RematerializeGathers }); got != 0 {
+		t.Errorf("single-consumer program enumerated %d remat candidates", got)
+	}
+	multi := EnumerateOptions(spec, 4, multiGatherProgram(4))
+	if got := count(multi, func(o Options) bool { return o.RematerializeGathers }); got == 0 {
+		t.Error("multi-consumer program enumerated no remat candidates")
+	}
+
+	// The paper's default configuration must be representable in the
+	// enumerated space (cost model off — the search is the gate).
+	def := DefaultOptions(spec)
+	def.UseCostModel = false
+	found := false
+	for _, o := range even {
+		if o.Fingerprint() == def.Fingerprint() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("DefaultOptions configuration missing from the enumeration")
+	}
+
+	// Fingerprints are unique within one enumeration.
+	seen := map[string]bool{}
+	for _, o := range even {
+		fp := o.Fingerprint()
+		if seen[fp] {
+			t.Errorf("duplicate fingerprint %s", fp)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestOptionsFingerprint(t *testing.T) {
+	spec := machine.TPUv4()
+	a := DefaultOptions(spec)
+	b := DefaultOptions(spec)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal options fingerprint differently")
+	}
+	b.Unroll = false
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("unroll change invisible to fingerprint")
+	}
+	// The spec is priced separately (cache key), not in the knobs.
+	c := DefaultOptions(machine.GPUCluster())
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatal("fingerprint depends on the machine spec")
+	}
+	if !strings.Contains(a.Fingerprint(), "sched=bottom-up") {
+		t.Fatalf("fingerprint %q does not name the scheduler", a.Fingerprint())
+	}
+}
+
+func TestDefaultOptionsRejectInvalidSpec(t *testing.T) {
+	bad := machine.TPUv4()
+	bad.LinkBandwidth = -1
+	for name, construct := range map[string]func(){
+		"default":  func() { DefaultOptions(bad) },
+		"baseline": func() { BaselineOptions(bad) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%sOptions accepted an invalid spec", name)
+				}
+			}()
+			construct()
+		}()
+	}
+}

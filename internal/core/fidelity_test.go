@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/sim"
+	"overlap/internal/topology"
+)
+
+// randomSite builds one AllGather-Einsum site with the given shard
+// shape on an n-device ring: gather a's ring dimension, contract the
+// result against a local operand.
+func randomSite(rows, k, cols, n int) *hlo.Computation {
+	groups := topology.NewRing(n).AxisGroups(0)
+	c := hlo.NewComputation("fidelity")
+	a := c.Parameter(0, "a", []int{rows, k})
+	b := c.Parameter(1, "b", []int{k, cols})
+	full := c.AllGather(a, 0, groups)
+	c.Einsum("mk,kn->mn", full, b)
+	return c
+}
+
+// TestCostModelFidelity checks the §5.5 analytic enable decision
+// against the timing simulator's verdict on randomized sites: for each
+// site, Evaluate's Enable bit should match whether the decomposed
+// program actually simulates no slower than the blocking original.
+// Disagreements are tolerated only when the two simulated step times
+// are within a near-tie band — there the analytic estimate is allowed
+// to round either way — and those are logged, not failed.
+func TestCostModelFidelity(t *testing.T) {
+	const (
+		trials   = 80
+		nearTie  = 0.25 // relative step-time gap below which disagreement is a logged tie
+		baseSeed = 7
+	)
+	rng := rand.New(rand.NewSource(baseSeed))
+	spec := machine.TPUv4()
+	rings := []int{2, 3, 4, 5, 8}
+
+	agreements, ties := 0, 0
+	for i := 0; i < trials; i++ {
+		// Realistically sized sites: at toy shapes the per-instruction
+		// overhead (which §5.5's estimate deliberately ignores) dominates
+		// and decomposition never pays.
+		n := rings[rng.Intn(len(rings))]
+		rows := 256 << rng.Intn(4)  // per-device gathered rows: 256..2048
+		k := 1024 << rng.Intn(4)    // contraction dim: 1024..8192
+		cols := 1024 << rng.Intn(4) // output cols: 1024..8192
+		c := randomSite(rows, k, cols, n)
+
+		opts := DefaultOptions(spec)
+		opts.UseCostModel = false
+		opts.Bidirectional = rng.Intn(2) == 0
+		opts.Unroll = rng.Intn(2) == 0
+
+		pats := FindPatterns(c, FirstChooser{})
+		if len(pats) != 1 {
+			t.Fatalf("trial %d: found %d patterns, want 1", i, len(pats))
+		}
+		d := Evaluate(pats[0], opts)
+
+		base, err := sim.Simulate(c.Clone(), n, spec)
+		if err != nil {
+			t.Fatalf("trial %d: simulate blocking: %v", i, err)
+		}
+		dec := c.Clone()
+		if _, err := Apply(dec, opts); err != nil {
+			t.Fatalf("trial %d: apply: %v", i, err)
+		}
+		over, err := sim.Simulate(dec, n, spec)
+		if err != nil {
+			t.Fatalf("trial %d: simulate decomposed: %v", i, err)
+		}
+
+		simBetter := over.StepTime <= base.StepTime
+		if d.Enable == simBetter {
+			agreements++
+			continue
+		}
+		gap := math.Abs(over.StepTime-base.StepTime) / base.StepTime
+		if gap <= nearTie {
+			ties++
+			t.Logf("trial %d (n=%d rows=%d k=%d cols=%d bidi=%v unroll=%v): "+
+				"near-tie disagreement — Enable=%v but sim %.3gs vs %.3gs (gap %.1f%%)",
+				i, n, rows, k, cols, opts.Bidirectional, opts.Unroll,
+				d.Enable, over.StepTime, base.StepTime, 100*gap)
+			continue
+		}
+		t.Errorf("trial %d (n=%d rows=%d k=%d cols=%d bidi=%v unroll=%v): "+
+			"cost model said Enable=%v but simulator measured decomposed %.3gs vs blocking %.3gs (gap %.1f%%)",
+			i, n, rows, k, cols, opts.Bidirectional, opts.Unroll,
+			d.Enable, over.StepTime, base.StepTime, 100*gap)
+	}
+	t.Logf("cost model agreed with the simulator on %d/%d randomized sites (%d near-tie disagreements)",
+		agreements, trials, ties)
+	if agreements == 0 {
+		t.Error("cost model never agreed with the simulator")
+	}
+}

@@ -94,8 +94,12 @@ type Options struct {
 }
 
 // DefaultOptions returns the configuration the paper deploys: all
-// optimizations on, bottom-up scheduling, cost model enabled.
+// optimizations on, bottom-up scheduling, cost model enabled. It panics
+// on an invalid machine spec (see machine.Spec.Validate) — the
+// alternative is NaN/Inf silently leaking into every cost-model and
+// simulator time derived from the returned options.
 func DefaultOptions(spec machine.Spec) Options {
+	mustValidSpec(spec)
 	return Options{
 		Spec:                  spec,
 		Unroll:                true,
@@ -110,8 +114,18 @@ func DefaultOptions(spec machine.Spec) Options {
 
 // BaselineOptions returns a configuration with the overlap feature off;
 // Apply becomes a no-op and the program keeps its blocking collectives.
+// Like DefaultOptions it panics on an invalid machine spec.
 func BaselineOptions(spec machine.Spec) Options {
+	mustValidSpec(spec)
 	return Options{Spec: spec, Scheduler: SchedulerNone}
+}
+
+// mustValidSpec rejects malformed machine specs at options-construction
+// time with a clear panic instead of letting NaN/Inf propagate.
+func mustValidSpec(spec machine.Spec) {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
 }
 
 // Report summarizes what the pipeline did to a computation.

@@ -11,6 +11,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 
 	"overlap/internal/hlo"
 	"overlap/internal/tensor"
@@ -88,18 +89,145 @@ func GPUCluster() Spec {
 	}
 }
 
-// Validate reports configuration errors (non-positive rates).
+// Validate reports configuration errors: non-positive rates, negative
+// latencies and overheads, and non-finite values — any of which would
+// leak NaN/Inf (or negative times) into the cost model and simulator.
 func (s Spec) Validate() error {
-	if s.PeakFLOPS <= 0 || s.HBMBandwidth <= 0 || s.LinkBandwidth <= 0 {
-		return fmt.Errorf("machine: %s has non-positive throughput parameters", s.Name)
+	finite := func(what string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("machine: %s %s %v is not finite", s.Name, what, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		what string
+		val  float64
+	}{
+		{"peak FLOP/s", s.PeakFLOPS},
+		{"matmul efficiency", s.MatmulEfficiency},
+		{"efficiency knee", s.EfficiencyKnee},
+		{"HBM bandwidth", s.HBMBandwidth},
+		{"link bandwidth", s.LinkBandwidth},
+		{"link latency", s.LinkLatency},
+		{"op overhead", s.OpOverhead},
+	} {
+		if err := finite(f.what, f.val); err != nil {
+			return err
+		}
+	}
+	if s.PeakFLOPS <= 0 {
+		return fmt.Errorf("machine: %s peak FLOP/s %v must be positive", s.Name, s.PeakFLOPS)
+	}
+	if s.HBMBandwidth <= 0 {
+		return fmt.Errorf("machine: %s HBM bandwidth %v must be positive", s.Name, s.HBMBandwidth)
+	}
+	if s.LinkBandwidth <= 0 {
+		return fmt.Errorf("machine: %s link bandwidth %v must be positive", s.Name, s.LinkBandwidth)
 	}
 	if s.MatmulEfficiency <= 0 || s.MatmulEfficiency > 1 {
 		return fmt.Errorf("machine: %s matmul efficiency %v outside (0,1]", s.Name, s.MatmulEfficiency)
+	}
+	if s.EfficiencyKnee < 0 {
+		return fmt.Errorf("machine: %s efficiency knee %v must be non-negative", s.Name, s.EfficiencyKnee)
+	}
+	if s.LinkLatency < 0 {
+		return fmt.Errorf("machine: %s link latency %v must be non-negative", s.Name, s.LinkLatency)
+	}
+	if s.OpOverhead < 0 {
+		return fmt.Errorf("machine: %s op overhead %v must be non-negative", s.Name, s.OpOverhead)
 	}
 	if s.MaxInFlight <= 0 {
 		return fmt.Errorf("machine: %s needs a positive async budget", s.Name)
 	}
 	return nil
+}
+
+// Fingerprint returns a stable textual identity of every parameter that
+// influences modeled times, for keying tuned-decision caches: two specs
+// with equal fingerprints price every program identically.
+func (s Spec) Fingerprint() string {
+	return fmt.Sprintf("name=%s flops=%g eff=%g knee=%g hbm=%g link=%g lat=%g ovh=%g inflight=%d",
+		s.Name, s.PeakFLOPS, s.MatmulEfficiency, s.EfficiencyKnee,
+		s.HBMBandwidth, s.LinkBandwidth, s.LinkLatency, s.OpOverhead, s.MaxInFlight)
+}
+
+// WithMatmulEfficiency returns a copy with the achieved-fraction-of-peak
+// replaced, clamped into Validate's (0, 1] range.
+func (s Spec) WithMatmulEfficiency(eff float64) Spec {
+	if eff > 1 {
+		eff = 1
+	}
+	if eff <= 0 || math.IsNaN(eff) {
+		eff = 1e-6
+	}
+	s.MatmulEfficiency = eff
+	return s
+}
+
+// WithLinkBandwidth returns a copy with the per-direction link bandwidth
+// replaced; non-positive values are clamped to a minimal positive rate.
+func (s Spec) WithLinkBandwidth(bw float64) Spec {
+	if bw <= 0 || math.IsNaN(bw) {
+		bw = 1
+	}
+	s.LinkBandwidth = bw
+	return s
+}
+
+// WithOpOverhead returns a copy with the per-instruction issue overhead
+// replaced; negative values are clamped to zero.
+func (s Spec) WithOpOverhead(ovh float64) Spec {
+	if ovh < 0 || math.IsNaN(ovh) {
+		ovh = 0
+	}
+	s.OpOverhead = ovh
+	return s
+}
+
+// Calibration rescales a Spec so that its modeled times track an
+// observed execution: autotune fits these factors from measured runtime
+// breakdowns (see internal/autotune). Each factor multiplies a
+// *throughput*, so a factor below 1 makes the corresponding modeled time
+// longer. The zero value is not a valid calibration; use Identity.
+type Calibration struct {
+	// ComputeScale multiplies the chip's effective compute throughput
+	// (matmul units and HBM together).
+	ComputeScale float64
+	// WireScale multiplies the link bandwidth.
+	WireScale float64
+	// OverheadScale multiplies the per-instruction issue overhead (an
+	// overhead is a time, so this one scales time directly).
+	OverheadScale float64
+}
+
+// Identity returns the calibration that leaves a Spec unchanged.
+func Identity() Calibration {
+	return Calibration{ComputeScale: 1, WireScale: 1, OverheadScale: 1}
+}
+
+// Apply returns the spec rescaled by the calibration. Compute scaling
+// raises MatmulEfficiency first and overflows into PeakFLOPS once the
+// efficiency ceiling of 1 is reached, so the result always validates.
+func (cal Calibration) Apply(s Spec) Spec {
+	cs, ws, os := cal.ComputeScale, cal.WireScale, cal.OverheadScale
+	clamp := func(v float64) float64 {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 1
+		}
+		return v
+	}
+	cs, ws, os = clamp(cs), clamp(ws), clamp(os)
+
+	eff := s.MatmulEfficiency * cs
+	if eff > 1 {
+		s.PeakFLOPS *= eff // overflow beyond the efficiency ceiling
+		eff = 1
+	}
+	s = s.WithMatmulEfficiency(eff)
+	s.HBMBandwidth *= cs
+	s = s.WithLinkBandwidth(s.LinkBandwidth * ws)
+	s = s.WithOpOverhead(s.OpOverhead * os)
+	return s
 }
 
 // EinsumEfficiency returns the fraction of peak achieved by an einsum

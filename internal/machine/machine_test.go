@@ -35,6 +35,91 @@ func TestValidate(t *testing.T) {
 	if bad.Validate() == nil {
 		t.Fatal("zero async budget accepted")
 	}
+	mutations := []func(*Spec){
+		func(s *Spec) { s.LinkBandwidth = -1 },
+		func(s *Spec) { s.HBMBandwidth = 0 },
+		func(s *Spec) { s.LinkLatency = -1e-9 },
+		func(s *Spec) { s.OpOverhead = -1e-9 },
+		func(s *Spec) { s.EfficiencyKnee = -1 },
+		func(s *Spec) { s.PeakFLOPS = math.NaN() },
+		func(s *Spec) { s.LinkLatency = math.Inf(1) },
+		func(s *Spec) { s.MatmulEfficiency = math.NaN() },
+	}
+	for i, mutate := range mutations {
+		bad = TPUv4()
+		mutate(&bad)
+		if bad.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a, b := TPUv4(), TPUv4()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical specs fingerprint differently")
+	}
+	b.LinkBandwidth *= 2
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("link bandwidth change not reflected in fingerprint")
+	}
+	if TPUv4().Fingerprint() == GPUCluster().Fingerprint() {
+		t.Fatal("distinct specs share a fingerprint")
+	}
+}
+
+func TestCalibrationApply(t *testing.T) {
+	s := TPUv4()
+	if got := Identity().Apply(s); got != s {
+		t.Fatalf("identity calibration changed the spec: %+v", got)
+	}
+
+	// Doubling compute throughput halves einsum time; the efficiency
+	// ceiling overflow must land in PeakFLOPS so the spec still
+	// validates.
+	cal := Calibration{ComputeScale: 4, WireScale: 2, OverheadScale: 0.5}
+	got := cal.Apply(s)
+	if err := got.Validate(); err != nil {
+		t.Fatalf("calibrated spec invalid: %v", err)
+	}
+	wantThroughput := s.PeakFLOPS * s.MatmulEfficiency * 4
+	if gotTp := got.PeakFLOPS * got.MatmulEfficiency; math.Abs(gotTp-wantThroughput)/wantThroughput > 1e-9 {
+		t.Fatalf("compute throughput %v, want %v", gotTp, wantThroughput)
+	}
+	if got.MatmulEfficiency != 1 {
+		t.Fatalf("efficiency %v, want saturated at 1", got.MatmulEfficiency)
+	}
+	if got.LinkBandwidth != s.LinkBandwidth*2 {
+		t.Fatalf("link bandwidth %v, want doubled", got.LinkBandwidth)
+	}
+	if got.OpOverhead != s.OpOverhead*0.5 {
+		t.Fatalf("op overhead %v, want halved", got.OpOverhead)
+	}
+	if got.HBMBandwidth != s.HBMBandwidth*4 {
+		t.Fatalf("HBM bandwidth %v, want quadrupled", got.HBMBandwidth)
+	}
+
+	// Degenerate factors degrade to identity instead of corrupting.
+	wild := Calibration{ComputeScale: math.NaN(), WireScale: -2, OverheadScale: 0}
+	if got := wild.Apply(s); got != s {
+		t.Fatalf("degenerate calibration changed the spec: %+v", got)
+	}
+}
+
+func TestCalibrationSetters(t *testing.T) {
+	s := TPUv4()
+	if got := s.WithMatmulEfficiency(2); got.MatmulEfficiency != 1 {
+		t.Fatalf("efficiency not clamped to 1: %v", got.MatmulEfficiency)
+	}
+	if got := s.WithMatmulEfficiency(-1); got.Validate() != nil {
+		t.Fatal("negative efficiency produced an invalid spec")
+	}
+	if got := s.WithLinkBandwidth(-5); got.Validate() != nil {
+		t.Fatal("negative bandwidth produced an invalid spec")
+	}
+	if got := s.WithOpOverhead(-1); got.OpOverhead != 0 {
+		t.Fatalf("negative overhead not clamped: %v", got.OpOverhead)
+	}
 }
 
 func TestEinsumEfficiencyCurve(t *testing.T) {

@@ -1,0 +1,34 @@
+package models
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Miniature shrinks a Table 1/2 configuration onto a 1×devices ring
+// while preserving its architecture and the divisibility constraints of
+// its partitioning: every collective the full model's layer emits
+// appears in the miniature too, just over small tensors. dim becomes
+// the per-head dimension and scales every tensor; the result is small
+// enough to execute with real tensors on the goroutine runtime.
+func Miniature(cfg Config, devices, dim int) (Config, error) {
+	if devices < 1 {
+		return cfg, fmt.Errorf("models: miniature needs at least one device")
+	}
+	if dim < 1 {
+		return cfg, fmt.Errorf("models: miniature needs a positive head dimension")
+	}
+	cfg.Name = strings.ToLower(cfg.Name) + "-mini"
+	cfg.Layers = 1
+	cfg.Chips = devices
+	cfg.MeshX, cfg.MeshY = 1, devices
+	cfg.HeadDim = dim
+	cfg.ModelDim = dim * devices
+	cfg.FFDim = 2 * cfg.ModelDim
+	cfg.SeqLen = 4 * devices
+	cfg.Batch = devices
+	if cfg.Arch == ArchMoE {
+		cfg.Experts = devices
+	}
+	return cfg, cfg.Validate()
+}

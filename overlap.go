@@ -30,8 +30,7 @@
 package overlap
 
 import (
-	"fmt"
-
+	"overlap/internal/autotune"
 	"overlap/internal/core"
 	"overlap/internal/experiments"
 	"overlap/internal/grad"
@@ -77,6 +76,12 @@ type (
 	RunResult = runtime.Result
 	// TraceEvent is one Chrome-trace span (simulated or measured).
 	TraceEvent = sim.TraceEvent
+	// AutotuneOptions configures the profile-guided variant search.
+	AutotuneOptions = autotune.Options
+	// AutotuneResult is what one Autotune call decided and measured.
+	AutotuneResult = autotune.Result
+	// Calibration rescales a MachineSpec to track measured runtimes.
+	Calibration = machine.Calibration
 )
 
 // Scheduler kinds (§5.2).
@@ -136,6 +141,27 @@ func Run(c *Computation, numDevices int, args [][]*Tensor, opts RunOptions) (*Ru
 // from spec at a scale that makes overlap visible in wall-clock.
 func DefaultRunOptions(spec MachineSpec) RunOptions { return runtime.DefaultOptions(spec) }
 
+// Autotune searches the pipeline's variant space (scheduler, unrolling,
+// bidirectional transfer, rolled loops, fusion heuristics, gather
+// rematerialization) for the configuration that executes the
+// computation fastest: candidates are ranked by the timing simulator,
+// the best few are run for real on the goroutine runtime (cross-checked
+// against the interpreter), and the winner is picked by measured
+// wall-clock. Decisions persist in a JSON cache keyed by (program,
+// machine spec, device count), so re-tuning an unchanged program
+// returns instantly without executing anything. c is not modified;
+// apply the winner with result.ApplyBest(c).
+func Autotune(c *Computation, numDevices int, args [][]*Tensor, opts AutotuneOptions) (*AutotuneResult, error) {
+	return autotune.Tune(c, numDevices, args, opts)
+}
+
+// Miniature shrinks a Table 1/2 model onto a 1×devices ring small
+// enough to execute with real tensors, preserving its architecture and
+// collective structure; dim is the miniature per-head dimension.
+func Miniature(cfg ModelConfig, devices, dim int) (ModelConfig, error) {
+	return models.Miniature(cfg, devices, dim)
+}
+
 // TraceJSON renders trace events (simulated or measured) as a Chrome
 // trace file loadable in Perfetto.
 func TraceJSON(events []TraceEvent) ([]byte, error) { return sim.TraceJSON(events) }
@@ -169,55 +195,21 @@ func BuildLayerStep(cfg ModelConfig) (*Computation, error) {
 
 // ExperimentIDs lists the experiments RunExperiment accepts, in
 // presentation order.
-func ExperimentIDs() []string {
-	return []string{
-		"table1", "table2", "fig1", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"energy", "inference",
-		// Extensions beyond the paper's evaluation section.
-		"memory", "rolled", "inference-sweep", "pipeline", "gpu",
-	}
-}
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentResult is one experiment's report plus its numeric series.
+type ExperimentResult = experiments.Structured
 
 // RunExperiment regenerates one of the paper's tables or figures and
 // returns its textual report.
 func RunExperiment(id string, spec MachineSpec) (string, error) {
-	switch id {
-	case "table1":
-		return experiments.Table1(), nil
-	case "table2":
-		return experiments.Table2(), nil
-	case "fig1":
-		return experiments.Fig1(spec)
-	case "fig12":
-		s, _, err := experiments.Fig12(spec)
-		return s, err
-	case "fig13":
-		s, _, err := experiments.Fig13(spec)
-		return s, err
-	case "fig14":
-		s, _, err := experiments.Fig14(spec)
-		return s, err
-	case "fig15":
-		s, _, err := experiments.Fig15(spec)
-		return s, err
-	case "fig16":
-		s, _, err := experiments.Fig16(spec)
-		return s, err
-	case "energy":
-		return experiments.Energy(spec)
-	case "inference":
-		s, _, err := experiments.Inference(spec)
-		return s, err
-	case "memory":
-		return experiments.Memory(spec)
-	case "rolled":
-		return experiments.Rolled(spec)
-	case "inference-sweep":
-		return experiments.InferenceSweep(spec)
-	case "pipeline":
-		return experiments.Pipeline(spec)
-	case "gpu":
-		return experiments.GPU(spec)
-	}
-	return "", fmt.Errorf("overlap: unknown experiment %q (want one of %v)", id, ExperimentIDs())
+	s, err := RunExperimentStructured(id, spec)
+	return s.Text, err
+}
+
+// RunExperimentStructured regenerates one experiment and returns both
+// its textual report and its machine-readable series, for tracking
+// results across revisions.
+func RunExperimentStructured(id string, spec MachineSpec) (ExperimentResult, error) {
+	return experiments.RunStructured(id, spec)
 }

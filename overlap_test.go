@@ -92,6 +92,59 @@ func TestRunExperimentDispatch(t *testing.T) {
 	}
 }
 
+func TestRunExperimentStructured(t *testing.T) {
+	s, err := RunExperimentStructured("inference", TPUv4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Experiment != "inference" || len(s.Speedups) != 1 || s.Speedups[0] <= 0 {
+		t.Fatalf("structured = %+v", s)
+	}
+	if !strings.Contains(s.Text, "improvement") {
+		t.Fatalf("text = %q", s.Text)
+	}
+}
+
+// TestFacadeAutotune drives Autotune + Miniature through the public
+// API: tune a miniature layer, apply the winner, and confirm a re-tune
+// against the same cache is a warm hit with zero executions.
+func TestFacadeAutotune(t *testing.T) {
+	cfg, err := Miniature(Table2Models()[0], 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := BuildLayerStep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var args [][]*Tensor
+	for _, p := range c.Parameters() {
+		args = append(args, []*Tensor{tensor.Rand(rng, p.Shape...)})
+	}
+	opts := AutotuneOptions{Spec: TPUv4(), TopK: 1, TimeScale: 25, CachePath: t.TempDir() + "/cache.json"}
+	res, err := Autotune(c, 4, args, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executions == 0 || res.MeasuredWall <= 0 {
+		t.Fatalf("cold tune did not execute: %+v", res)
+	}
+	if _, err := res.ApplyBest(c.Clone()); err != nil {
+		t.Fatalf("ApplyBest: %v", err)
+	}
+	warm, err := Autotune(c, 4, args, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit || warm.Executions != 0 {
+		t.Fatalf("warm tune re-executed: hit=%v executions=%d", warm.CacheHit, warm.Executions)
+	}
+	if warm.Best.Fingerprint() != res.Best.Fingerprint() {
+		t.Fatal("warm decision differs from cold decision")
+	}
+}
+
 func TestRunExperimentInference(t *testing.T) {
 	out, err := RunExperiment("inference", TPUv4())
 	if err != nil || !strings.Contains(out, "improvement") {
