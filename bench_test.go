@@ -15,6 +15,7 @@ import (
 	"overlap/internal/experiments"
 	"overlap/internal/machine"
 	"overlap/internal/models"
+	"overlap/internal/obs"
 	"overlap/internal/runtime"
 	"overlap/internal/sim"
 	"overlap/internal/tensor"
@@ -257,6 +258,40 @@ func BenchmarkRuntimeRolledVsDecomposed(b *testing.B) {
 		opts := core.DefaultOptions(machine.TPUv4())
 		opts.UseCostModel = false
 		bench(b, opts)
+	})
+	// The decomposed case again with telemetry recording disabled: the
+	// step-ms gap between this and "decomposed" bounds the metrics
+	// registry's overhead on the runtime hot path (budget: < 5%).
+	b.Run("decomposed-noinstr", func(b *testing.B) {
+		obs.Default().SetEnabled(false)
+		defer obs.Default().SetEnabled(true)
+		opts := core.DefaultOptions(machine.TPUv4())
+		opts.UseCostModel = false
+		bench(b, opts)
+	})
+}
+
+// BenchmarkMetricsHotPath measures the per-update cost of the
+// telemetry handles the executors bump from their hot paths.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	r := obs.NewRegistry()
+	c := r.Counter("bench_total", "")
+	g := r.Gauge("bench_gauge", "")
+	h := r.Histogram("bench_seconds", "", obs.TimeBuckets())
+	b.Run("counter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("gauge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Set(float64(i))
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Observe(1e-4)
+		}
 	})
 }
 

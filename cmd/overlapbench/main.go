@@ -27,6 +27,7 @@ func main() {
 	linkGBs := flag.Float64("link-gbs", 0, "override per-direction link bandwidth (GB/s, 4-byte-element equivalent)")
 	peakTF := flag.Float64("peak-tflops", 0, "override per-chip peak TFLOP/s")
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON object per experiment")
+	metricsOut := flag.String("metrics-out", "", "export telemetry to this file (Prometheus text, or JSON with a .json suffix)")
 	flag.Parse()
 
 	spec := overlap.TPUv4()
@@ -57,6 +58,11 @@ func main() {
 			continue
 		}
 		fmt.Println(out.Text)
+	}
+	if *metricsOut != "" {
+		if err := overlap.Metrics().WriteFile(*metricsOut); err != nil {
+			fail(err)
+		}
 	}
 }
 

@@ -16,6 +16,9 @@
 //	overlaprun -model GPT_32B -devices 4                # all three modes
 //	overlaprun -model GLaM_1T -devices 4 -mode overlap  # one mode
 //	overlaprun -model GPT_32B -trace run.json           # Perfetto trace
+//	overlaprun -model GPT_32B -attrib                   # per-collective overlap attribution
+//	overlaprun -metrics-out run.prom                    # telemetry export (Prometheus text)
+//	overlaprun -serve :9090                             # live /metrics endpoint
 package main
 
 import (
@@ -39,7 +42,18 @@ func main() {
 	timeScale := flag.Float64("timescale", 2000, "wire-delay scale: modeled seconds sleep this many times longer")
 	traceFile := flag.String("trace", "", "write the overlap mode's Chrome trace to this file")
 	check := flag.Bool("check", false, "cross-check runtime outputs against the lockstep interpreter")
+	attrib := flag.Bool("attrib", false, "print the per-collective overlap attribution of each mode")
+	metricsOut := flag.String("metrics-out", "", "export telemetry to this file (Prometheus text, or JSON with a .json suffix)")
+	serveAddr := flag.String("serve", "", "serve a live /metrics endpoint at this address and stay up after the run")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		_, addr, err := overlap.ServeMetrics(*serveAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("serving telemetry at http://%s/metrics\n", addr)
+	}
 
 	cfg, err := models.ByName(*model)
 	if err != nil {
@@ -57,16 +71,27 @@ func main() {
 		modes = []string{*mode}
 	}
 	for _, m := range modes {
-		if err := runMode(mini, m, *devices, *timeScale, *traceFile, *check); err != nil {
+		if err := runMode(mini, m, *devices, *timeScale, *traceFile, *check, *attrib); err != nil {
 			fail(err)
 		}
+	}
+
+	if *metricsOut != "" {
+		if err := overlap.Metrics().WriteFile(*metricsOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote telemetry to %s\n", *metricsOut)
+	}
+	if *serveAddr != "" {
+		fmt.Println("runs done; serving /metrics until interrupted")
+		select {}
 	}
 }
 
 // runMode builds the miniature layer graph, applies the pipeline the
 // mode names, executes it on the runtime, and prints the measured
-// breakdown.
-func runMode(cfg models.Config, mode string, devices int, timeScale float64, traceFile string, check bool) error {
+// breakdown (plus, with -attrib, where each collective's wire time hid).
+func runMode(cfg models.Config, mode string, devices int, timeScale float64, traceFile string, check, attrib bool) error {
 	c, err := overlap.BuildLayerStep(cfg)
 	if err != nil {
 		return err
@@ -94,7 +119,8 @@ func runMode(cfg models.Config, mode string, devices int, timeScale float64, tra
 
 	args := randomArgs(c)
 	ropts := overlap.RunOptions{Spec: spec, TimeScale: timeScale}
-	if traceFile != "" && mode == "overlap" {
+	writeTrace := traceFile != "" && mode == "overlap"
+	if writeTrace || attrib {
 		ropts.Trace = true
 	}
 	res, err := overlap.Run(c, devices, args, ropts)
@@ -119,7 +145,10 @@ func runMode(cfg models.Config, mode string, devices int, timeScale float64, tra
 		mode, b.StepTime*1e3, b.Compute*1e3, b.CollectiveWire*1e3, b.Exposed*1e3,
 		b.AsyncTransfers, b.PeakInFlight, checkMark(check))
 
-	if ropts.Trace {
+	if attrib {
+		fmt.Print(overlap.Attribute(res.Trace).Render())
+	}
+	if writeTrace {
 		data, err := sim.TraceJSON(res.Trace)
 		if err != nil {
 			return err

@@ -11,6 +11,8 @@
 //	overlaptune -model GPT_32B -devices 4
 //	overlaptune -model GLaM_1T -devices 8 -topk 4 -no-cache
 //	overlaptune -model GPT_32B -cache /tmp/tune.json   # private cache
+//	overlaptune -model GPT_32B -metrics-out tune.prom  # telemetry export
+//	overlaptune -model GPT_32B -serve :9090            # live /metrics while tuning
 package main
 
 import (
@@ -34,7 +36,17 @@ func main() {
 	cachePath := flag.String("cache", "", "decision cache file (default: per-user cache dir)")
 	noCache := flag.Bool("no-cache", false, "skip the decision cache entirely")
 	noCalibrate := flag.Bool("no-calibrate", false, "skip fitting the machine spec to measured breakdowns")
+	metricsOut := flag.String("metrics-out", "", "export telemetry to this file (Prometheus text, or JSON with a .json suffix)")
+	serveAddr := flag.String("serve", "", "serve a live /metrics endpoint at this address and stay up after tuning")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		_, addr, err := overlap.ServeMetrics(*serveAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("serving telemetry at http://%s/metrics\n", addr)
+	}
 
 	cfg, err := models.ByName(*model)
 	if err != nil {
@@ -64,6 +76,17 @@ func main() {
 		fail(err)
 	}
 	report(res)
+
+	if *metricsOut != "" {
+		if err := overlap.Metrics().WriteFile(*metricsOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote telemetry to %s\n", *metricsOut)
+	}
+	if *serveAddr != "" {
+		fmt.Println("tuning done; serving /metrics until interrupted")
+		select {}
+	}
 }
 
 func report(res *overlap.AutotuneResult) {

@@ -1,0 +1,42 @@
+// Command promlint validates files against the Prometheus text
+// exposition format using the in-tree checker (internal/obs). CI runs
+// it over the telemetry the CLIs export with -metrics-out, so exporter
+// drift fails the build instead of silently breaking scrapes.
+//
+// Usage:
+//
+//	promlint metrics.prom [more.prom ...]
+//
+// It prints one "ok" line per valid file and exits non-zero on the
+// first malformed one.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"overlap/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: promlint <file> [file ...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail(path, err)
+		}
+		n, err := obs.LintPrometheus(data)
+		if err != nil {
+			fail(path, err)
+		}
+		fmt.Printf("ok: %s (%d samples)\n", path, n)
+	}
+}
+
+func fail(path string, err error) {
+	fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", path, err)
+	os.Exit(1)
+}

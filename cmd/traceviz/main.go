@@ -1,52 +1,124 @@
-// Command traceviz renders the simulated execution of one model layer
-// as an ASCII timeline, making the overlap visible in a terminal:
-// transfers ('=') running under compute ('#') are hidden communication,
-// transfers under stalls ('.') are exposed.
+// Command traceviz renders the execution of one model layer as an
+// ASCII timeline, making the overlap visible in a terminal: transfers
+// ('=') running under compute ('#') are hidden communication, transfers
+// under stalls ('.') are exposed.
+//
+// By default the timeline comes from the discrete-event simulator's
+// predicted trace of the full-size model. With -run the layer is scaled
+// to a miniature and executed for real on the concurrent goroutine
+// runtime, so measured and predicted timelines render through the same
+// view and can be compared side by side.
 //
 // Usage:
 //
-//	traceviz -model GPT_32B               # baseline (blocking)
+//	traceviz -model GPT_32B               # baseline (blocking), simulated
 //	traceviz -model GPT_32B -overlap      # decomposed + scheduled
 //	traceviz -model GPT_32B -overlap -width 160
+//	traceviz -model GPT_32B -overlap -run # measured on goroutine devices
+//	traceviz -model GPT_32B -overlap -attrib   # per-collective attribution table
+//	traceviz -model GPT_32B -link-gbs 200      # machine-spec override
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"overlap"
-	"overlap/internal/machine"
 	"overlap/internal/models"
 	"overlap/internal/sim"
+	"overlap/internal/tensor"
 )
 
 func main() {
 	model := flag.String("model", "GPT_32B", "model name from Table 1 or Table 2")
 	apply := flag.Bool("overlap", false, "apply the overlap pipeline first")
 	width := flag.Int("width", 120, "timeline width in columns")
+	run := flag.Bool("run", false, "execute a miniature on the goroutine runtime and render the measured trace")
+	devices := flag.Int("devices", 4, "ring size for -run (goroutine devices)")
+	dim := flag.Int("dim", 8, "miniature per-head dimension for -run")
+	timeScale := flag.Float64("timescale", 2000, "wire-delay scale for -run")
+	attrib := flag.Bool("attrib", false, "print the per-collective overlap attribution under the timeline")
+	linkGBs := flag.Float64("link-gbs", 0, "override per-direction link bandwidth (GB/s, 4-byte-element equivalent)")
+	peakTF := flag.Float64("peak-tflops", 0, "override per-chip peak TFLOP/s")
 	flag.Parse()
+
+	spec := overlap.TPUv4()
+	if *linkGBs != 0 {
+		spec.LinkBandwidth = *linkGBs * 1e9
+	}
+	if *peakTF != 0 {
+		spec.PeakFLOPS = *peakTF * 1e12
+	}
+	if err := spec.Validate(); err != nil {
+		fail(err)
+	}
 
 	cfg, err := models.ByName(*model)
 	if err != nil {
 		fail(err)
+	}
+	if *run {
+		var merr error
+		if cfg, merr = overlap.Miniature(cfg, *devices, *dim); merr != nil {
+			fail(merr)
+		}
 	}
 	c, err := overlap.BuildLayerStep(cfg)
 	if err != nil {
 		fail(err)
 	}
 	if *apply {
-		if _, err := overlap.Apply(c, overlap.DefaultOptions(overlap.TPUv4())); err != nil {
+		opts := overlap.DefaultOptions(spec)
+		if *run {
+			// Miniature shapes would not pass the cost model, which
+			// prices the full-size tensors; decompose unconditionally.
+			opts.UseCostModel = false
+		}
+		if _, err := overlap.Apply(c, opts); err != nil {
 			fail(err)
 		}
 	}
-	bd, events, err := sim.SimulateTrace(c, cfg.Mesh().NumDevices(), machine.TPUv4())
-	if err != nil {
-		fail(err)
+
+	var (
+		bd     overlap.Breakdown
+		events []overlap.TraceEvent
+		source string
+	)
+	if *run {
+		res, rerr := overlap.Run(c, *devices, randomArgs(c), overlap.RunOptions{
+			Spec: spec, TimeScale: *timeScale, Trace: true,
+		})
+		if rerr != nil {
+			fail(rerr)
+		}
+		bd, events, source = res.Breakdown, res.Trace, "measured"
+	} else {
+		bd, events, err = sim.SimulateTrace(c, cfg.Mesh().NumDevices(), spec)
+		if err != nil {
+			fail(err)
+		}
+		source = "simulated"
 	}
-	fmt.Printf("%s, one layer step: %.3f ms, %.0f%% exposed communication\n",
-		cfg.Name, 1e3*bd.StepTime, 100*bd.CommFraction())
+	fmt.Printf("%s, one layer step (%s): %.3f ms, %.0f%% exposed communication\n",
+		cfg.Name, source, 1e3*bd.StepTime, 100*bd.CommFraction())
 	fmt.Print(sim.RenderTimeline(events, *width))
+	if *attrib {
+		fmt.Print(overlap.Attribute(events).Render())
+	}
+}
+
+// randomArgs supplies one replicated random tensor per parameter, the
+// same convention overlaprun uses.
+func randomArgs(c *overlap.Computation) [][]*tensor.Tensor {
+	rng := rand.New(rand.NewSource(42))
+	params := c.Parameters()
+	args := make([][]*tensor.Tensor, len(params))
+	for i, p := range params {
+		args[i] = []*tensor.Tensor{tensor.Rand(rng, p.Shape...)}
+	}
+	return args
 }
 
 func fail(err error) {

@@ -200,27 +200,36 @@ func Tune(c *hlo.Computation, numDevices int, args [][]*tensor.Tensor, opts Opti
 		Residual:       -1,
 	}
 
+	atTunes.Inc()
+
 	// Warm path: a cached decision answers without touching the runtime.
 	if !opts.DisableCache {
 		res.CachePath = cachePath(opts)
 		if entry, ok := cacheLookup(res.CachePath, res.Fingerprint); ok {
+			atCacheHits.Inc()
 			entry.fill(res, opts.Spec)
 			return res, nil
 		}
 	}
+	atCacheMisses.Inc()
 
 	// Stage 1: enumerate, transform clones, rank by simulated time.
 	cands := enumerate(c, numDevices, opts)
 	stage1(cands, c, numDevices, opts)
 	res.Candidates = rank(cands)
+	atCandidates.Add(float64(len(res.Candidates)))
 
 	// Stage 2: execute the top-K (plus the paper's default) for real.
 	if err := stage2(res, c, numDevices, args, opts); err != nil {
 		return nil, err
 	}
+	atExecutions.Add(float64(res.Executions))
 
 	if opts.Calibrate {
 		calibrate(res, numDevices, opts)
+		if res.Residual >= 0 {
+			atResidual.Set(res.Residual)
+		}
 	}
 
 	if !opts.DisableCache {

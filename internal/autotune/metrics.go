@@ -1,0 +1,23 @@
+package autotune
+
+import "overlap/internal/obs"
+
+// Tuner-side instrumentation handles, resolved once against the
+// process-wide registry: how many searches ran, how often the decision
+// cache answered, how wide the candidate space was, how many runtime
+// executions the searches paid for, and how well the fitted machine
+// calibration tracks the measurements.
+var (
+	atTunes = obs.Default().Counter("overlap_autotune_tunes_total",
+		"Autotune searches performed (cache hits included).")
+	atCacheHits = obs.Default().Counter("overlap_autotune_cache_hits_total",
+		"Tunes answered from the decision cache with zero executions.")
+	atCacheMisses = obs.Default().Counter("overlap_autotune_cache_misses_total",
+		"Tunes that had to search (cache cold, stale, or disabled).")
+	atCandidates = obs.Default().Counter("overlap_autotune_candidates_total",
+		"Candidates evaluated by the simulator ranking stage.")
+	atExecutions = obs.Default().Counter("overlap_autotune_executions_total",
+		"Runtime executions performed by tuning (warmups and repeats included).")
+	atResidual = obs.Default().Gauge("overlap_autotune_calibration_residual",
+		"RMS relative step-time error of the latest machine-calibration fit.")
+)

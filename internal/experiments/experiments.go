@@ -55,7 +55,10 @@ func RunModel(cfg models.Config, opts core.Options, overlap bool) (Run, error) {
 	if err != nil {
 		return Run{}, err
 	}
-	util := float64(flops) / opts.Spec.PeakFLOPS / bd.StepTime
+	util := 0.0
+	if bd.StepTime > 0 {
+		util = float64(flops) / opts.Spec.PeakFLOPS / bd.StepTime
+	}
 	return Run{
 		Config:      cfg,
 		Breakdown:   bd,
@@ -94,8 +97,13 @@ type Comparison struct {
 	Overlapped Run
 }
 
-// Speedup returns baseline step time over overlapped step time.
+// Speedup returns baseline step time over overlapped step time, or 0
+// when the overlapped step time is zero (degenerate empty programs)
+// rather than an Inf/NaN that would poison downstream series.
 func (c Comparison) Speedup() float64 {
+	if c.Overlapped.Breakdown.StepTime == 0 {
+		return 0
+	}
 	return c.Baseline.Breakdown.StepTime / c.Overlapped.Breakdown.StepTime
 }
 

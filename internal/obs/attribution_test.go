@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAttributeHiddenAndExposed(t *testing.T) {
+	spans := []Span{
+		// Device 0: a transfer fully covered by one einsum, another half
+		// exposed, and a blocking collective.
+		{Device: 0, Track: TrackCompute, Cat: CatCompute, Name: "einsum.p0", Start: 0, Dur: 10},
+		{Device: 0, Track: TrackTransfer, Cat: CatTransfer, Name: "cp.start", Start: 2, Dur: 4},
+		{Device: 0, Track: TrackTransfer, Cat: CatTransfer, Name: "cp.start.2", Start: 8, Dur: 4},
+		{Device: 0, Track: TrackCompute, Cat: CatCollective, Name: "all-reduce", Start: 12, Dur: 5},
+		{Device: 0, Track: TrackCompute, Cat: CatStall, Name: "cp.done", Start: 17, Dur: 1},
+	}
+	rep := Attribute(spans)
+	if len(rep.Collectives) != 3 {
+		t.Fatalf("got %d collectives, want 3", len(rep.Collectives))
+	}
+	byName := map[string]Attribution{}
+	for _, a := range rep.Collectives {
+		byName[a.Name] = a
+	}
+
+	cp := byName["cp.start"]
+	if cp.Wire != 4 || cp.Hidden != 4 || cp.Exposed != 0 {
+		t.Fatalf("cp.start = %+v, want fully hidden", cp)
+	}
+	if cp.HiddenFraction() != 1 {
+		t.Fatalf("cp.start hidden fraction = %v", cp.HiddenFraction())
+	}
+	if len(cp.Under) != 1 || cp.Under[0].Name != "einsum.p0" || cp.Under[0].Seconds != 4 {
+		t.Fatalf("cp.start under = %+v", cp.Under)
+	}
+
+	cp2 := byName["cp.start.2"]
+	if cp2.Hidden != 2 || cp2.Exposed != 2 {
+		t.Fatalf("cp.start.2 = %+v, want half hidden", cp2)
+	}
+
+	ar := byName["all-reduce"]
+	if !ar.Blocking || ar.Exposed != 5 || ar.Hidden != 0 {
+		t.Fatalf("all-reduce = %+v, want blocking fully exposed", ar)
+	}
+	if ar.ExposedFraction() != 1 {
+		t.Fatalf("all-reduce exposed fraction = %v", ar.ExposedFraction())
+	}
+
+	if rep.StallSeconds != 1 {
+		t.Fatalf("stall seconds = %v, want 1", rep.StallSeconds)
+	}
+	wantEff := (4.0 + 2.0) / (4 + 4 + 5)
+	if math.Abs(rep.OverlapEfficiency()-wantEff) > 1e-12 {
+		t.Fatalf("overlap efficiency = %v, want %v", rep.OverlapEfficiency(), wantEff)
+	}
+}
+
+func TestAttributeAggregatesAcrossDevices(t *testing.T) {
+	spans := []Span{
+		{Device: 0, Track: TrackCompute, Cat: CatCompute, Name: "einsum", Start: 0, Dur: 4},
+		{Device: 0, Track: TrackTransfer, Cat: CatTransfer, Name: "cp", Start: 0, Dur: 4},
+		{Device: 1, Track: TrackTransfer, Cat: CatTransfer, Name: "cp", Start: 0, Dur: 4},
+	}
+	rep := Attribute(spans)
+	if len(rep.Collectives) != 1 {
+		t.Fatalf("got %d collectives, want 1 aggregated", len(rep.Collectives))
+	}
+	cp := rep.Collectives[0]
+	// Device 0 hid its 4s under the einsum; device 1 had no compute, so
+	// its 4s are exposed.
+	if cp.Wire != 8 || cp.Hidden != 4 || cp.Exposed != 4 {
+		t.Fatalf("aggregated = %+v", cp)
+	}
+}
+
+func TestAttributeHiddenCappedByWire(t *testing.T) {
+	// Two overlapping compute spans both cover the transfer; hidden time
+	// must not double-count past the wire time.
+	spans := []Span{
+		{Device: 0, Track: TrackCompute, Cat: CatCompute, Name: "a", Start: 0, Dur: 10},
+		{Device: 0, Track: TrackCompute, Cat: CatCompute, Name: "b", Start: 0, Dur: 10},
+		{Device: 0, Track: TrackTransfer, Cat: CatTransfer, Name: "cp", Start: 1, Dur: 5},
+	}
+	rep := Attribute(spans)
+	cp := rep.Collectives[0]
+	if cp.Hidden != 5 || cp.Exposed != 0 {
+		t.Fatalf("hidden = %v exposed = %v, want hidden capped at wire 5", cp.Hidden, cp.Exposed)
+	}
+}
+
+func TestFractionsGuardZeroWire(t *testing.T) {
+	var a Attribution
+	if a.HiddenFraction() != 0 || a.ExposedFraction() != 0 {
+		t.Fatal("zero wire must give zero fractions, not NaN")
+	}
+	var r AttributionReport
+	if r.OverlapEfficiency() != 0 {
+		t.Fatal("empty report must give zero efficiency, not NaN")
+	}
+}
+
+func TestRenderAttributionTable(t *testing.T) {
+	spans := []Span{
+		{Device: 0, Track: TrackCompute, Cat: CatCompute, Name: "einsum.p1", Start: 0, Dur: 8},
+		{Device: 0, Track: TrackTransfer, Cat: CatTransfer, Name: "cp.start", Start: 1, Dur: 4},
+		{Device: 0, Track: TrackCompute, Cat: CatCollective, Name: "all-gather", Start: 8, Dur: 2},
+	}
+	out := Attribute(spans).Render()
+	for _, want := range []string{"cp.start", "einsum.p1", "all-gather", "(blocking)", "overlap efficiency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE header per
+// metric followed by its samples, histograms expanded into cumulative
+// _bucket{le="..."} series plus _sum and _count. Metrics appear sorted
+// by name, so two scrapes of an unchanged registry are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(m.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+			return err
+		}
+		switch m.Type {
+		case "histogram":
+			for _, b := range m.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, formatLE(b.LE), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", m.Name, formatValue(m.Sum), m.Name, m.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.Name, formatValue(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// JSON renders the registry as a stable, machine-readable document:
+// metrics sorted by name under a fixed top-level key, every field named
+// by the MetricSnapshot schema. The schema is pinned by a golden test;
+// extend it, don't mutate it.
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+	}{r.Snapshot()}, "", " ")
+}
+
+// WriteFile exports the registry to path: the Prometheus text format by
+// default, the JSON document when path ends in ".json".
+func (r *Registry) WriteFile(path string) error {
+	var data []byte
+	if strings.HasSuffix(path, ".json") {
+		var err error
+		if data, err = r.JSON(); err != nil {
+			return err
+		}
+	} else {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			return err
+		}
+		data = []byte(b.String())
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func escapeHelp(help string) string {
+	help = strings.ReplaceAll(help, "\\", `\\`)
+	return strings.ReplaceAll(help, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus parsers expect.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLE renders a bucket bound for its le label.
+func formatLE(v float64) string { return formatValue(v) }

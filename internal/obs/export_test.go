@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// fixture builds a registry with one metric of each kind at known
+// values, so exporter output is fully determined.
+func fixture() *Registry {
+	r := NewRegistry()
+	r.Counter("overlap_demo_runs_total", "Demo runs.").Add(3)
+	r.Gauge("overlap_demo_last_step_seconds", "Demo step time.").Set(0.25)
+	h := r.Histogram("overlap_demo_span_seconds", "Demo spans.", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.5)
+	return r
+}
+
+// TestPrometheusGolden pins the Prometheus text rendering byte for
+// byte: exporter drift fails here before it breaks scrapes.
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := fixture().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP overlap_demo_last_step_seconds Demo step time.
+# TYPE overlap_demo_last_step_seconds gauge
+overlap_demo_last_step_seconds 0.25
+# HELP overlap_demo_runs_total Demo runs.
+# TYPE overlap_demo_runs_total counter
+overlap_demo_runs_total 3
+# HELP overlap_demo_span_seconds Demo spans.
+# TYPE overlap_demo_span_seconds histogram
+overlap_demo_span_seconds_bucket{le="0.001"} 1
+overlap_demo_span_seconds_bucket{le="0.01"} 2
+overlap_demo_span_seconds_bucket{le="+Inf"} 3
+overlap_demo_span_seconds_sum 0.5055
+overlap_demo_span_seconds_count 3
+`
+	if b.String() != want {
+		t.Fatalf("prometheus rendering drifted:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestJSONGolden pins the metrics-JSON schema byte for byte.
+func TestJSONGolden(t *testing.T) {
+	data, err := fixture().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+ "metrics": [
+  {
+   "name": "overlap_demo_last_step_seconds",
+   "type": "gauge",
+   "help": "Demo step time.",
+   "value": 0.25
+  },
+  {
+   "name": "overlap_demo_runs_total",
+   "type": "counter",
+   "help": "Demo runs.",
+   "value": 3
+  },
+  {
+   "name": "overlap_demo_span_seconds",
+   "type": "histogram",
+   "help": "Demo spans.",
+   "value": 0,
+   "buckets": [
+    {
+     "le": "0.001",
+     "count": 1
+    },
+    {
+     "le": "0.01",
+     "count": 2
+    },
+    {
+     "le": "+Inf",
+     "count": 3
+    }
+   ],
+   "sum": 0.5055,
+   "count": 3
+  }
+ ]
+}`
+	if string(data) != want {
+		t.Fatalf("metrics JSON schema drifted:\n--- got ---\n%s\n--- want ---\n%s", data, want)
+	}
+}
+
+// TestLintAcceptsExporterOutput closes the loop: whatever
+// WritePrometheus emits must pass the in-tree lint CI runs.
+func TestLintAcceptsExporterOutput(t *testing.T) {
+	var b strings.Builder
+	if err := fixture().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	n, err := LintPrometheus([]byte(b.String()))
+	if err != nil {
+		t.Fatalf("lint rejected exporter output: %v", err)
+	}
+	if n != 7 { // gauge + counter + 3 buckets + sum + count
+		t.Fatalf("lint counted %d samples, want 7", n)
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad name":         "# TYPE 9bad counter\n9bad 1\n",
+		"bad type":         "# TYPE x flavor\nx 1\n",
+		"bad value":        "# TYPE x counter\nx one\n",
+		"untyped sample":   "x 1\n",
+		"unquoted label":   "# TYPE x counter\nx{a=1} 1\n",
+		"missing bucket":   "# TYPE x histogram\nx_sum 1\nx_count 1\n",
+		"duplicate type":   "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"malformed sample": "# TYPE x counter\nx\n",
+	}
+	for name, data := range cases {
+		if _, err := LintPrometheus([]byte(data)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, data)
+		}
+	}
+}
+
+// TestServeMetrics scrapes a live /metrics endpoint end to end.
+func TestServeMetrics(t *testing.T) {
+	r := fixture()
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LintPrometheus(body); err != nil {
+		t.Fatalf("scrape did not lint: %v", err)
+	}
+	if !strings.Contains(string(body), "overlap_demo_runs_total 3") {
+		t.Fatalf("scrape missing counter sample:\n%s", body)
+	}
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates data against the Prometheus text exposition
+// format closely enough to catch exporter drift in CI: every non-blank
+// line must be a well-formed # HELP / # TYPE comment or a sample with a
+// legal metric name, optional well-formed label set, and a parseable
+// value; samples must follow a # TYPE header for their family; and
+// histogram families must end with matching _sum and _count series. It
+// returns the number of samples seen.
+func LintPrometheus(data []byte) (int, error) {
+	samples := 0
+	typed := map[string]string{} // family -> declared type
+	for i, line := range strings.Split(string(data), "\n") {
+		n := i + 1
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, family, rest, err := parseComment(line)
+			if err != nil {
+				return samples, fmt.Errorf("line %d: %v", n, err)
+			}
+			if kind == "TYPE" {
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("line %d: unknown metric type %q", n, rest)
+				}
+				if _, dup := typed[family]; dup {
+					return samples, fmt.Errorf("line %d: duplicate # TYPE for %q", n, family)
+				}
+				typed[family] = rest
+			}
+			continue
+		}
+		name, _, err := parseSample(line)
+		if err != nil {
+			return samples, fmt.Errorf("line %d: %v", n, err)
+		}
+		family := sampleFamily(name, typed)
+		if _, ok := typed[family]; !ok {
+			return samples, fmt.Errorf("line %d: sample %q precedes its # TYPE header", n, name)
+		}
+		samples++
+	}
+	for family, kind := range typed {
+		if kind != "histogram" {
+			continue
+		}
+		for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+			if !strings.Contains(string(data), family+suffix) {
+				return samples, fmt.Errorf("histogram %q missing %s series", family, suffix)
+			}
+		}
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples found")
+	}
+	return samples, nil
+}
+
+// parseComment validates a # HELP or # TYPE line and returns its kind,
+// metric family, and remainder.
+func parseComment(line string) (kind, family, rest string, err error) {
+	fields := strings.SplitN(strings.TrimPrefix(line, "#"), " ", 4)
+	// "# KIND name rest..." splits into ["", KIND, name, rest].
+	if len(fields) < 3 || fields[0] != "" {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	kind = fields[1]
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", fmt.Errorf("unknown comment kind %q (want HELP or TYPE)", kind)
+	}
+	family = fields[2]
+	if !validMetricName(family) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", family)
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return kind, family, rest, nil
+}
+
+// parseSample validates one "name[{labels}] value [timestamp]" line.
+func parseSample(line string) (name string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := lintLabels(rest[i+1 : j]); err != nil {
+			return "", 0, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", 0, fmt.Errorf("sample %q needs a name and a value", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validMetricName(name) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", 0, fmt.Errorf("sample %q needs a value (and at most a timestamp)", line)
+	}
+	value, err = parsePromFloat(fields[0])
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, value, nil
+}
+
+// lintLabels validates a comma-separated name="value" list.
+func lintLabels(s string) error {
+	if s == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return fmt.Errorf("label %q missing '='", pair)
+		}
+		name, val := pair[:eq], pair[eq+1:]
+		if !validLabelName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			return fmt.Errorf("label value %s must be quoted", val)
+		}
+	}
+	return nil
+}
+
+// parsePromFloat accepts Prometheus sample values: Go floats plus the
+// +Inf / -Inf / NaN spellings.
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN", "Nan":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// sampleFamily strips the histogram/summary sample suffixes so the
+// series maps back to its # TYPE declaration.
+func sampleFamily(name string, typed map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if k, ok := typed[base]; ok && (k == "histogram" || k == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,32 @@
+// Package obs is the unified telemetry subsystem: a lightweight metrics
+// registry (counters, gauges, fixed-bucket histograms — zero-allocation
+// on the hot path, safe for concurrent use by the per-device runtime
+// goroutines), exporters for the Prometheus text exposition format and
+// a stable JSON schema, an optional HTTP /metrics endpoint for
+// long-running tuning sessions, and an overlap-attribution analyzer
+// that consumes per-device span streams and reports, per collective
+// instruction, how much of its wire time was hidden under which partial
+// einsum versus exposed as a stall — the per-op analogue of the paper's
+// Figure 9.
+//
+// The package is a leaf: it imports only the standard library, so the
+// simulator (internal/sim), the concurrent runtime (internal/runtime)
+// and the autotuner (internal/autotune) all instrument themselves
+// through it without import cycles. They share one process-wide default
+// registry (Default), which the overlap facade surfaces as
+// overlap.Metrics and the CLIs export via -metrics-out / -serve.
+package obs
+
+import "sync"
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry that the simulator, the
+// runtime and the autotuner record into. The first call creates it.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = NewRegistry() })
+	return defaultReg
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // dropped: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same", "h")
+	b := r.Counter("same", "h")
+	if a != b {
+		t.Fatal("re-registering a name must return the same handle")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("handles must share state")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("same", "h")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", got)
+	}
+	s := h.snapshot("h_seconds", "latency")
+	wantCum := []uint64{1, 3, 4, 5} // cumulative over 0.1, 1, 10, +Inf
+	if len(s.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(wantCum))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[len(s.Buckets)-1].LE, 1) {
+		t.Fatal("last bucket must be +Inf")
+	}
+}
+
+func TestDisabledRegistryDropsUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", []float64{1})
+	g := r.Gauge("g", "")
+	r.SetEnabled(false)
+	c.Inc()
+	h.Observe(0.5)
+	g.Set(9)
+	if c.Value() != 0 || h.Count() != 0 || g.Value() != 0 {
+		t.Fatal("disabled registry must drop updates")
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("re-enabled registry must record again")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h_seconds", "", TimeBuckets())
+	const workers, each = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(1e-5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("counter = %v, want %d", got, workers*each)
+	}
+	if got := h.Count(); got != workers*each {
+		t.Fatalf("histogram count = %d, want %d", got, workers*each)
+	}
+}
+
+func TestHotPathDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", TimeBuckets())
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(2)
+		h.Observe(3e-4)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad ExpBuckets args must panic")
+		}
+	}()
+	ExpBuckets(0, 2, 3)
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+}

@@ -59,6 +59,7 @@ func (d *device) run(paramFor func(p *hlo.Instruction, dev int) *tensor.Tensor) 
 func (d *device) runSeq(instrs []*hlo.Instruction, values map[*hlo.Instruction]*tensor.Tensor, iter int, resolve func(p *hlo.Instruction) *tensor.Tensor) bool {
 	e := d.eng
 	for _, in := range instrs {
+		rtInstructions.Inc()
 		switch in.Op {
 		case hlo.OpParameter:
 			values[in] = resolve(in)
@@ -77,6 +78,7 @@ func (d *device) runSeq(instrs []*hlo.Instruction, values map[*hlo.Instruction]*
 			wait := e.since() - t0
 			d.exposed += wait
 			d.wire += e.collectiveDelay(in).Seconds()
+			rtCollectiveSpans.Observe(wait)
 			d.span("collective", in.Name, t0, wait)
 			values[in] = out
 
@@ -118,6 +120,7 @@ func (d *device) runSeq(instrs []*hlo.Instruction, values map[*hlo.Instruction]*
 			}
 			wait := e.since() - t0
 			d.exposed += wait
+			rtStallSpans.Observe(wait)
 			d.span("stall", in.Name, t0, wait)
 			if _, ok := start.PairTarget(d.id); ok {
 				d.outstanding--
@@ -142,6 +145,7 @@ func (d *device) runSeq(instrs []*hlo.Instruction, values map[*hlo.Instruction]*
 			}
 			dur := e.since() - t0
 			d.compute += dur
+			rtComputeSpans.Observe(dur)
 			d.span("compute", in.Name, t0, dur)
 			values[in] = v
 		}

@@ -116,6 +116,7 @@ func (e *engine) assemble(devices []*device) *Result {
 		}
 	}
 	res.Breakdown = b
+	b.Record("runtime")
 
 	if e.opts.Trace {
 		for _, dev := range devices {

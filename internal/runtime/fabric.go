@@ -115,6 +115,8 @@ func (f *fabric) post(src, dst int, key mailKey, data *tensor.Tensor, bytes int6
 	p := parcel{key: key, data: data, bytes: bytes}
 	select {
 	case l.ch <- p:
+		rtTransfers.Inc()
+		rtTransferBytes.Add(float64(bytes))
 		return true
 	case <-f.eng.abort:
 		return false

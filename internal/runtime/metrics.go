@@ -1,0 +1,23 @@
+package runtime
+
+import "overlap/internal/obs"
+
+// Runtime-side instrumentation handles, resolved once against the
+// process-wide registry. The per-device goroutines update them
+// concurrently from the execution hot path, which is exactly the
+// workload the registry's atomic handles are built for: no locks, no
+// allocation, safe under -race.
+var (
+	rtInstructions = obs.Default().Counter("overlap_runtime_instructions_total",
+		"Instructions executed across all runtime devices (loop bodies counted per iteration).")
+	rtComputeSpans = obs.Default().Histogram("overlap_runtime_compute_span_seconds",
+		"Wall-clock duration of local-instruction evaluations on runtime devices.", obs.TimeBuckets())
+	rtStallSpans = obs.Default().Histogram("overlap_runtime_stall_span_seconds",
+		"Wall-clock duration of waits on asynchronous transfer dones.", obs.TimeBuckets())
+	rtCollectiveSpans = obs.Default().Histogram("overlap_runtime_collective_span_seconds",
+		"Wall-clock duration of blocking-collective rendezvous waits.", obs.TimeBuckets())
+	rtTransfers = obs.Default().Counter("overlap_runtime_transfers_total",
+		"Asynchronous transfers posted onto link goroutines.")
+	rtTransferBytes = obs.Default().Counter("overlap_runtime_transfer_bytes_total",
+		"Payload bytes posted onto link goroutines.")
+)

@@ -1,0 +1,63 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"overlap/internal/core"
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/obs"
+	"overlap/internal/tensor"
+	"overlap/internal/topology"
+)
+
+// TestRunRecordsMetrics checks the runtime's reporting path: one Run
+// must bump the shared instruction counter, post transfer counts from
+// the link fabric, and publish its measured breakdown gauges.
+func TestRunRecordsMetrics(t *testing.T) {
+	const n = 4
+	c := hlo.NewComputation("metrics")
+	groups := topology.NewRing(n).AxisGroups(0)
+	a := c.Parameter(0, "a", []int{8, 16})
+	w := c.Parameter(1, "w", []int{16, 8})
+	full := c.AllGather(a, 0, groups)
+	c.Einsum("mk,kn->mn", full, w)
+	opts := core.DefaultOptions(machine.TPUv4())
+	opts.UseCostModel = false
+	if _, err := core.Apply(c, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	shards := make([]*tensor.Tensor, n)
+	for d := range shards {
+		shards[d] = tensor.Rand(rng, 8, 16)
+	}
+	args := [][]*tensor.Tensor{shards, {tensor.Rand(rng, 16, 8)}}
+
+	r := obs.Default()
+	runs := r.Counter("overlap_runtime_runs_total", "")
+	instrs := r.Counter("overlap_runtime_instructions_total", "")
+	transfers := r.Counter("overlap_runtime_transfers_total", "")
+	bytesMoved := r.Counter("overlap_runtime_transfer_bytes_total", "")
+	lastStep := r.Gauge("overlap_runtime_last_step_seconds", "")
+
+	runs0, instrs0, transfers0, bytes0 := runs.Value(), instrs.Value(), transfers.Value(), bytesMoved.Value()
+	res, err := Run(c, n, args, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Value() - runs0; got != 1 {
+		t.Fatalf("run counter moved by %v, want 1", got)
+	}
+	if instrs.Value() <= instrs0 {
+		t.Fatal("instruction counter did not move")
+	}
+	if transfers.Value() <= transfers0 || bytesMoved.Value() <= bytes0 {
+		t.Fatal("transfer counters did not move for a decomposed program")
+	}
+	if lastStep.Value() != res.Breakdown.StepTime {
+		t.Fatalf("last step gauge = %v, want %v", lastStep.Value(), res.Breakdown.StepTime)
+	}
+}

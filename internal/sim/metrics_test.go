@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/obs"
+	"overlap/internal/topology"
+)
+
+// TestSimulateRecordsMetrics checks the simulator's reporting path: one
+// Simulate call must bump the run counter, the instruction counter, and
+// the last-run gauges in the process-wide registry.
+func TestSimulateRecordsMetrics(t *testing.T) {
+	r := obs.Default()
+	runs := r.Counter("overlap_sim_runs_total", "")
+	instrs := r.Counter("overlap_sim_instructions_total", "")
+	lastStep := r.Gauge("overlap_sim_last_step_seconds", "")
+
+	c := hlo.NewComputation("m")
+	a := c.Parameter(0, "a", []int{8, 8})
+	b := c.Parameter(1, "b", []int{8, 8})
+	c.Einsum("ij,jk->ik", a, b)
+	c.AllReduce(c.Root(), topology.NewRing(2).AxisGroups(0))
+
+	runs0, instrs0 := runs.Value(), instrs.Value()
+	bd, err := Simulate(c, 2, machine.TPUv4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Value() - runs0; got != 1 {
+		t.Fatalf("run counter moved by %v, want 1", got)
+	}
+	if got := instrs.Value() - instrs0; got != 4 {
+		t.Fatalf("instruction counter moved by %v, want 4", got)
+	}
+	if lastStep.Value() != bd.StepTime {
+		t.Fatalf("last step gauge = %v, want %v", lastStep.Value(), bd.StepTime)
+	}
+}
+
+// TestSpansConversion checks trace events convert to analyzer spans
+// with microseconds scaled back to seconds.
+func TestSpansConversion(t *testing.T) {
+	spans := Spans([]TraceEvent{
+		{Name: "x", Cat: "transfer", TS: 2e6, Dur: 5e5, PID: 3, TID: TraceTIDTransfer},
+	})
+	s := spans[0]
+	if s.Device != 3 || s.Track != obs.TrackTransfer || s.Cat != obs.CatTransfer ||
+		s.Name != "x" || s.Start != 2 || s.Dur != 0.5 {
+		t.Fatalf("span = %+v", s)
+	}
+}

@@ -86,6 +86,7 @@ func Simulate(c *hlo.Computation, numDevices int, spec machine.Spec) (Breakdown,
 	}
 	b.AsyncTransfers = st.asyncSends
 	b.PeakInFlight = st.peakInFlight
+	b.Record("sim")
 	return b, nil
 }
 
@@ -112,6 +113,7 @@ type simState struct {
 
 // exec advances every device's clock across one instruction.
 func (st *simState) exec(in *hlo.Instruction) error {
+	simInstructions.Inc()
 	spec := st.spec
 	numDevices := st.numDevices
 	now := st.now

@@ -81,6 +81,7 @@ func SimulateTrace(c *hlo.Computation, numDevices int, spec machine.Spec) (Break
 	}
 	b.AsyncTransfers = st.asyncSends
 	b.PeakInFlight = st.peakInFlight
+	b.Record("sim")
 	return b, st.trace, nil
 }
 

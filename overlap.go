@@ -30,6 +30,8 @@
 package overlap
 
 import (
+	"net/http"
+
 	"overlap/internal/autotune"
 	"overlap/internal/core"
 	"overlap/internal/experiments"
@@ -37,6 +39,7 @@ import (
 	"overlap/internal/hlo"
 	"overlap/internal/machine"
 	"overlap/internal/models"
+	"overlap/internal/obs"
 	"overlap/internal/runtime"
 	"overlap/internal/sim"
 	"overlap/internal/tensor"
@@ -82,6 +85,14 @@ type (
 	AutotuneResult = autotune.Result
 	// Calibration rescales a MachineSpec to track measured runtimes.
 	Calibration = machine.Calibration
+	// MetricsRegistry is the telemetry registry all executors record
+	// into (counters, gauges, histograms; Prometheus/JSON exporters).
+	MetricsRegistry = obs.Registry
+	// AttributionReport is the per-collective overlap breakdown the
+	// attribution analyzer produces from a span stream.
+	AttributionReport = obs.AttributionReport
+	// CollectiveAttribution is one collective's hidden/exposed split.
+	CollectiveAttribution = obs.Attribution
 )
 
 // Scheduler kinds (§5.2).
@@ -165,6 +176,23 @@ func Miniature(cfg ModelConfig, devices, dim int) (ModelConfig, error) {
 // TraceJSON renders trace events (simulated or measured) as a Chrome
 // trace file loadable in Perfetto.
 func TraceJSON(events []TraceEvent) ([]byte, error) { return sim.TraceJSON(events) }
+
+// Metrics returns the process-wide telemetry registry. The simulator,
+// the concurrent runtime, and the autotuner all record into it; export
+// it with WritePrometheus/JSON/WriteFile or serve it with ServeMetrics.
+func Metrics() *MetricsRegistry { return obs.Default() }
+
+// Attribute runs the overlap-attribution analyzer over a trace
+// (simulated or measured) and reports, per collective instruction, how
+// much of its wire time was hidden under which partial einsum versus
+// exposed — the per-op analogue of the paper's Figure 9 — plus the
+// aggregate overlap-efficiency scalar.
+func Attribute(events []TraceEvent) AttributionReport { return sim.Attribute(events) }
+
+// ServeMetrics exposes the process-wide registry at http://addr/metrics
+// in the Prometheus text format and returns the server (for Shutdown)
+// and the resolved listen address.
+func ServeMetrics(addr string) (*http.Server, string, error) { return obs.Serve(addr, obs.Default()) }
 
 // Gradients appends the backward pass of root (seeded with seed) to the
 // computation and returns the gradient instruction for every wrt entry.

@@ -1,0 +1,105 @@
+package overlap
+
+// Facade-level tests of the telemetry subsystem: overlap.Metrics,
+// overlap.Attribute and overlap.ServeMetrics wired over a real
+// decomposed execution.
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"overlap/internal/obs"
+	"overlap/internal/tensor"
+)
+
+// tracedRun executes one small decomposed AllGather/einsum site on the
+// goroutine runtime with tracing on.
+func tracedRun(t *testing.T) *RunResult {
+	t.Helper()
+	const n = 4
+	c := NewComputation("telemetry")
+	groups := NewRing(n).AxisGroups(0)
+	a := c.Parameter(0, "a", []int{8, 16})
+	w := c.Parameter(1, "w", []int{16, 8})
+	full := c.AllGather(a, 0, groups)
+	c.Einsum("mk,kn->mn", full, w)
+	opts := DefaultOptions(TPUv4())
+	opts.UseCostModel = false
+	if _, err := Apply(c, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	shards := make([]*tensor.Tensor, n)
+	for d := range shards {
+		shards[d] = tensor.Rand(rng, 8, 16)
+	}
+	args := [][]*Tensor{shards, {tensor.Rand(rng, 16, 8)}}
+	res, err := Run(c, n, args, RunOptions{Spec: TPUv4(), TimeScale: 2000, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFacadeAttribution(t *testing.T) {
+	res := tracedRun(t)
+	rep := Attribute(res.Trace)
+	if len(rep.Collectives) == 0 || rep.TotalWire <= 0 {
+		t.Fatalf("attribution found no collective wire time: %+v", rep)
+	}
+	if eff := rep.OverlapEfficiency(); eff < 0 || eff > 1 {
+		t.Fatalf("overlap efficiency %v out of [0,1]", eff)
+	}
+	if !strings.Contains(rep.Render(), "overlap efficiency") {
+		t.Fatal("rendered report missing the efficiency line")
+	}
+}
+
+func TestFacadeMetricsExport(t *testing.T) {
+	tracedRun(t)
+	var b strings.Builder
+	if err := Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"overlap_runtime_runs_total",
+		"overlap_runtime_last_step_seconds",
+		"overlap_runtime_compute_span_seconds_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus export missing %s", want)
+		}
+	}
+	if _, err := obs.LintPrometheus([]byte(text)); err != nil {
+		t.Fatalf("facade export does not lint: %v", err)
+	}
+	if data, err := Metrics().JSON(); err != nil || !strings.Contains(string(data), `"metrics"`) {
+		t.Fatalf("JSON export broken: %v", err)
+	}
+}
+
+func TestFacadeServeMetrics(t *testing.T) {
+	tracedRun(t)
+	srv, addr, err := ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "overlap_runtime_runs_total") {
+		t.Fatalf("scrape failed: status %d body %.200s", resp.StatusCode, body)
+	}
+}
