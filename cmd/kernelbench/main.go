@@ -1,0 +1,110 @@
+// Command kernelbench sweeps the einsum kernel engine over square
+// matmuls and writes a machine-readable report. CI runs the short sweep
+// on every push and uploads the JSON next to the telemetry artifacts,
+// so kernel regressions show up as a diffable number rather than a
+// feeling. The per-size reference timing (odometer path) is included so
+// the report carries its own speedup baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"overlap"
+	"overlap/internal/tensor"
+)
+
+type sizeResult struct {
+	Size        int     `json:"size"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	GFLOPs      float64 `json:"gflops"`
+	RefNsPerOp  int64   `json:"ref_ns_per_op,omitempty"`
+	RefGFLOPs   float64 `json:"ref_gflops,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	Workers    int          `json:"kernel_workers"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Sizes      []sizeResult `json:"sizes"`
+}
+
+func main() {
+	short := flag.Bool("short", false, "sweep sizes 32-128 only and skip reference timings above 64")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	workers := flag.Int("workers", 0, "kernel worker count (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	overlap.SetKernelWorkers(*workers)
+
+	sizes := []int{32, 64, 128, 256, 512}
+	refCeiling := 256 // reference is O(n^3) scalar; cap how long we wait
+	if *short {
+		sizes = []int{32, 64, 128}
+		refCeiling = 64
+	}
+
+	rep := report{Workers: overlap.KernelWorkers(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, size := range sizes {
+		rng := rand.New(rand.NewSource(1))
+		x := tensor.Rand(rng, size, size)
+		y := tensor.Rand(rng, size, size)
+		flops := 2 * float64(size) * float64(size) * float64(size)
+
+		kr := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.Einsum("ik,kj->ij", x, y)
+			}
+		})
+		res := sizeResult{
+			Size:        size,
+			NsPerOp:     kr.NsPerOp(),
+			GFLOPs:      flops / float64(kr.NsPerOp()),
+			AllocsPerOp: kr.AllocsPerOp(),
+			BytesPerOp:  kr.AllocedBytesPerOp(),
+		}
+		if size <= refCeiling {
+			rr := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tensor.ReferenceEinsum("ik,kj->ij", x, y)
+				}
+			})
+			res.RefNsPerOp = rr.NsPerOp()
+			res.RefGFLOPs = flops / float64(rr.NsPerOp())
+			res.Speedup = float64(rr.NsPerOp()) / float64(kr.NsPerOp())
+		}
+		rep.Sizes = append(rep.Sizes, res)
+		fmt.Fprintf(os.Stderr, "matmul%-4d %10d ns/op %8.2f GFLOP/s", size, res.NsPerOp, res.GFLOPs)
+		if res.Speedup != 0 {
+			fmt.Fprintf(os.Stderr, "  %5.1fx vs reference", res.Speedup)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "kernelbench:", err)
+	os.Exit(1)
+}

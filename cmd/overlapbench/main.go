@@ -28,7 +28,10 @@ func main() {
 	peakTF := flag.Float64("peak-tflops", 0, "override per-chip peak TFLOP/s")
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON object per experiment")
 	metricsOut := flag.String("metrics-out", "", "export telemetry to this file (Prometheus text, or JSON with a .json suffix)")
+	kernelWorkers := flag.Int("kernel-workers", 0, "intra-op einsum kernel parallelism (0 = GOMAXPROCS); results are byte-identical for any value")
 	flag.Parse()
+
+	overlap.SetKernelWorkers(*kernelWorkers)
 
 	spec := overlap.TPUv4()
 	if *linkGBs != 0 {

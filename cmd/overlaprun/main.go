@@ -45,7 +45,10 @@ func main() {
 	attrib := flag.Bool("attrib", false, "print the per-collective overlap attribution of each mode")
 	metricsOut := flag.String("metrics-out", "", "export telemetry to this file (Prometheus text, or JSON with a .json suffix)")
 	serveAddr := flag.String("serve", "", "serve a live /metrics endpoint at this address and stay up after the run")
+	kernelWorkers := flag.Int("kernel-workers", 0, "intra-op einsum kernel parallelism (0 = GOMAXPROCS); results are byte-identical for any value")
 	flag.Parse()
+
+	overlap.SetKernelWorkers(*kernelWorkers)
 
 	if *serveAddr != "" {
 		_, addr, err := overlap.ServeMetrics(*serveAddr)

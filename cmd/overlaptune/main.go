@@ -38,7 +38,10 @@ func main() {
 	noCalibrate := flag.Bool("no-calibrate", false, "skip fitting the machine spec to measured breakdowns")
 	metricsOut := flag.String("metrics-out", "", "export telemetry to this file (Prometheus text, or JSON with a .json suffix)")
 	serveAddr := flag.String("serve", "", "serve a live /metrics endpoint at this address and stay up after tuning")
+	kernelWorkers := flag.Int("kernel-workers", 0, "intra-op einsum kernel parallelism (0 = GOMAXPROCS); keyed into the decision cache")
 	flag.Parse()
+
+	overlap.SetKernelWorkers(*kernelWorkers)
 
 	if *serveAddr != "" {
 		_, addr, err := overlap.ServeMetrics(*serveAddr)

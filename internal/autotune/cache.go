@@ -12,11 +12,13 @@ import (
 	"overlap/internal/core"
 	"overlap/internal/hlo"
 	"overlap/internal/machine"
+	"overlap/internal/tensor"
 )
 
 // cacheVersion invalidates every stored decision when the entry layout
-// or the meaning of a knob changes.
-const cacheVersion = 1
+// or the meaning of a knob changes. Version 2: keys gained the kernel
+// worker count, which changes measured runtimes.
+const cacheVersion = 2
 
 // DefaultCachePath returns where decisions persist when Options does
 // not say otherwise: <user cache dir>/overlap/autotune.json, falling
@@ -36,12 +38,14 @@ func cachePath(opts Options) string {
 	return DefaultCachePath()
 }
 
-// cacheKey is the decision identity: program shape, machine spec, and
-// ring size. Anything else (TopK, repeats, wire scale) only affects how
-// hard the search looks, not what it is searching for.
+// cacheKey is the decision identity: program shape, machine spec, ring
+// size, and the einsum-kernel worker count (intra-op parallelism shifts
+// measured compute spans, which shifts which overlap plan wins).
+// Anything else (TopK, repeats, wire scale) only affects how hard the
+// search looks, not what it is searching for.
 func cacheKey(c *hlo.Computation, spec machine.Spec, numDevices int) string {
 	specFP := fmt.Sprintf("%x", sha256.Sum256([]byte(spec.Fingerprint())))[:16]
-	return fmt.Sprintf("%s|%s|n=%d", ProgramFingerprint(c), specFP, numDevices)
+	return fmt.Sprintf("%s|%s|n=%d|kw=%d", ProgramFingerprint(c), specFP, numDevices, tensor.KernelWorkers())
 }
 
 // knobs is the on-disk encoding of a winning core.Options — only the

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -70,6 +71,16 @@ func (e *engine) run(args [][]*tensor.Tensor) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panicking kernel (malformed einsum spec, shape bug)
+			// must not crash the whole process: convert it into the
+			// engine's first-error slot, which also closes the abort
+			// channel so peer devices blocked on fabric sends drain
+			// instead of deadlocking.
+			defer func() {
+				if r := recover(); r != nil {
+					e.fail(fmt.Errorf("runtime: device %d: panic: %v", dev.id, r))
+				}
+			}()
 			dev.run(paramFor)
 		}()
 	}

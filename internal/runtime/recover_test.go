@@ -1,0 +1,55 @@
+package runtime_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/runtime"
+	"overlap/internal/tensor"
+	"overlap/internal/topology"
+)
+
+// TestDeviceGoroutinePanicBecomesError pins the engine's panic
+// containment: a kernel panic inside one device goroutine (here induced
+// by corrupting an einsum spec after the program is built, which the
+// preflight validator does not parse) must surface as an error from Run
+// — naming the device and the panic — rather than crash the process or
+// deadlock the peer devices blocked on collective rendezvous.
+func TestDeviceGoroutinePanicBecomesError(t *testing.T) {
+	const n = 4
+	rng := rand.New(rand.NewSource(42))
+	groups := topology.NewRing(n).AxisGroups(0)
+
+	c := hlo.NewComputation("panic")
+	a := c.Parameter(0, "a", []int{4, 6})
+	b := c.Parameter(1, "b", []int{6, 5})
+	full := c.AllGather(a, 0, groups)
+	ein := c.Einsum("mk,kn->mn", full, b)
+
+	// Corrupt the spec after building: validate() checks shapes and
+	// operand wiring, not spec text, so the failure happens mid-run
+	// inside the device goroutine's kernel call.
+	ein.EinsumSpec = "not a spec"
+
+	args := [][]*tensor.Tensor{
+		make([]*tensor.Tensor, n),
+		make([]*tensor.Tensor, n),
+	}
+	for d := 0; d < n; d++ {
+		args[0][d] = tensor.Rand(rng, 4, 6)
+		args[1][d] = tensor.Rand(rng, 6, 5)
+	}
+
+	res, err := runtime.Run(c, n, args, runtime.Options{})
+	if err == nil {
+		t.Fatalf("Run succeeded (%v), want panic surfaced as error", res)
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("Run error %q does not mention the panic", err)
+	}
+	if !strings.Contains(err.Error(), "device") {
+		t.Fatalf("Run error %q does not name the failing device", err)
+	}
+}

@@ -256,7 +256,17 @@ func EvalLocal(in *hlo.Instruction, ops []*tensor.Tensor, pid, iter int) (*tenso
 
 // evalFusion interprets a fusion body on one device. Fusion bodies are
 // device-local by construction (the fusion pass never fuses collectives).
+//
+// Einsums whose only consumer is an Add in the same body — the shape
+// FuseAccumulation produces for the decomposed ReduceScatter chain —
+// are never materialized: the Add evaluates them with
+// tensor.EinsumAddInto, accumulating the contracted terms directly on
+// the accumulator instead of allocating a partial-result temporary and
+// summing it elementwise. Both execution engines (the lockstep
+// interpreter and the goroutine runtime) share this path via EvalLocal,
+// so their bit-identical cross-check is unaffected.
 func evalFusion(f *hlo.Instruction, ops []*tensor.Tensor, pid, iter int) (*tensor.Tensor, error) {
+	deferred := fusionDeferredEinsums(f.Body)
 	vals := make(map[*hlo.Instruction]*tensor.Tensor, f.Body.NumInstructions())
 	for _, in := range f.Body.Instructions() {
 		if in.Op == hlo.OpParameter {
@@ -265,6 +275,13 @@ func evalFusion(f *hlo.Instruction, ops []*tensor.Tensor, pid, iter int) (*tenso
 		}
 		if in.Op == hlo.OpConstant {
 			vals[in] = in.Literal
+			continue
+		}
+		if deferred[in] {
+			continue // materialized fused into its consuming Add below
+		}
+		if in.Op == hlo.OpAdd && (deferred[in.Operands[0]] || deferred[in.Operands[1]]) {
+			vals[in] = evalFusedAdd(f.Body, in, deferred, vals)
 			continue
 		}
 		inner := make([]*tensor.Tensor, len(in.Operands))
@@ -278,6 +295,56 @@ func evalFusion(f *hlo.Instruction, ops []*tensor.Tensor, pid, iter int) (*tenso
 		vals[in] = v
 	}
 	return vals[f.Body.Root()], nil
+}
+
+// fusionDeferredEinsums returns the body einsums eligible for fused
+// accumulation: consumed by exactly one instruction, that instruction
+// is an Add in the same body with two distinct operands, and the einsum
+// is not the body root. Returns nil (cheap) when the body has none.
+func fusionDeferredEinsums(body *hlo.Computation) map[*hlo.Instruction]bool {
+	var deferred map[*hlo.Instruction]bool
+	root := body.Root()
+	for _, in := range body.Instructions() {
+		if in.Op != hlo.OpEinsum || in == root || in.NumUsers() != 1 {
+			continue
+		}
+		u := in.Users()[0]
+		if u.Op != hlo.OpAdd || u.Operands[0] == u.Operands[1] {
+			continue
+		}
+		if deferred == nil {
+			deferred = make(map[*hlo.Instruction]bool)
+		}
+		deferred[in] = true
+	}
+	return deferred
+}
+
+// evalFusedAdd evaluates an Add with at least one deferred-einsum
+// operand. The non-einsum operand becomes the accumulator, mutated in
+// place only when no other reader can observe it (a body-local value
+// with a single user that is not the body root); parameter and constant
+// values are cloned first, since they alias caller-owned tensors.
+func evalFusedAdd(body *hlo.Computation, add *hlo.Instruction, deferred map[*hlo.Instruction]bool, vals map[*hlo.Instruction]*tensor.Tensor) *tensor.Tensor {
+	a, b := add.Operands[0], add.Operands[1]
+	var acc *tensor.Tensor
+	var fuse *hlo.Instruction
+	if deferred[a] && deferred[b] {
+		// Both operands are sole-use einsums: materialize the left one
+		// as the accumulator base and fuse the right onto it.
+		acc = tensor.Einsum(a.EinsumSpec, vals[a.Operands[0]], vals[a.Operands[1]])
+		fuse = b
+	} else {
+		e, o := a, b
+		if !deferred[e] {
+			e, o = b, a
+		}
+		acc, fuse = vals[o], e
+		if o.Op == hlo.OpParameter || o.Op == hlo.OpConstant || o.NumUsers() > 1 || o == body.Root() {
+			acc = acc.Clone()
+		}
+	}
+	return tensor.EinsumAddInto(acc, fuse.EinsumSpec, vals[fuse.Operands[0]], vals[fuse.Operands[1]])
 }
 
 func evalOffsets(offsets []hlo.DynOffset, pid, iter int) []int {

@@ -151,34 +151,101 @@ func (s EinsumSpec) labelSizes(shapes [][]int) (map[byte]int, error) {
 
 // Einsum evaluates spec on the operands. It panics on malformed specs or
 // mismatched shapes; the HLO verifier catches those earlier in compiler
-// flows, so a failure here indicates an internal bug.
+// flows, so a failure here indicates an internal bug. The spec's parse
+// and GEMM lowering are cached per spec string, so repeated executions
+// (the interpreter and runtime evaluate the same instruction every step)
+// skip straight to the kernel.
 func Einsum(spec string, operands ...*Tensor) *Tensor {
-	parsed, err := ParseEinsum(spec)
+	e, err := einsumLookup(spec)
 	if err != nil {
 		panic(err)
 	}
-	out, err := EinsumParsed(parsed, operands...)
+	out, err := einsumExec(e, operands)
 	if err != nil {
 		panic(err)
 	}
 	return out
 }
 
+// ReferenceEinsum evaluates spec on the operands through the odometer
+// reference path unconditionally, bypassing the GEMM kernel engine. It
+// exists for differential tests and benchmarks (the kernel's results
+// are byte-identical to it by contract); production callers use Einsum.
+func ReferenceEinsum(spec string, operands ...*Tensor) *Tensor {
+	e, err := einsumLookup(spec)
+	if err != nil {
+		panic(err)
+	}
+	out, err := newEinsumOutput(e.spec, operands)
+	if err != nil {
+		panic(err)
+	}
+	einsumReference(out, e.spec, operands)
+	return out
+}
+
 // EinsumParsed evaluates a pre-parsed spec on the operands.
 func EinsumParsed(spec EinsumSpec, operands ...*Tensor) (*Tensor, error) {
+	e, err := einsumLookup(spec.String())
+	if err != nil {
+		return nil, err
+	}
+	return einsumExec(e, operands)
+}
+
+// newEinsumOutput validates the operand shapes and returns the zeroed
+// result tensor.
+func newEinsumOutput(spec EinsumSpec, operands []*Tensor) (*Tensor, error) {
 	shapes := make([][]int, len(operands))
 	for i, op := range operands {
 		shapes[i] = op.shape
 	}
-	sizes, err := spec.labelSizes(shapes)
-	if err != nil {
+	if _, err := spec.labelSizes(shapes); err != nil {
 		return nil, err
 	}
 	outShape, err := spec.OutputShape(shapes...)
 	if err != nil {
 		return nil, err
 	}
-	out := New(outShape...)
+	return New(outShape...), nil
+}
+
+// einsumExec validates shapes and runs the fastest applicable path:
+// the blocked GEMM kernel for lowerable two-operand specs, otherwise
+// the odometer reference.
+func einsumExec(e *einsumEntry, operands []*Tensor) (*Tensor, error) {
+	out, err := newEinsumOutput(e.spec, operands)
+	if err != nil {
+		return nil, err
+	}
+	t0, timed := kernelTimerStart()
+	if len(operands) == 2 && e.plan.ok {
+		e.plan.run(out, operands[0], operands[1], KernelWorkers())
+		kernelGemmOps.Inc()
+	} else {
+		einsumReference(out, e.spec, operands)
+		kernelFallbackOps.Inc()
+	}
+	kernelTimerEnd(t0, timed)
+	return out, nil
+}
+
+// einsumReference accumulates the spec's terms into out with the scalar
+// odometer loop — the original correctness-substrate path, kept as the
+// fallback for specs the GEMM engine cannot lower and as the oracle the
+// kernel's differential tests compare against. It adds onto out's
+// existing contents (a zeroed tensor yields the plain einsum), visiting
+// each output element's contracted terms in row-major order over the
+// contracted labels.
+func einsumReference(out *Tensor, spec EinsumSpec, operands []*Tensor) {
+	shapes := make([][]int, len(operands))
+	for i, op := range operands {
+		shapes[i] = op.shape
+	}
+	sizes, err := spec.labelSizes(shapes)
+	if err != nil {
+		panic(err) // callers validated already; this is an internal bug
+	}
 
 	// The iteration space is output labels followed by contracted labels.
 	// For each operand (and the output) we precompute a per-position
@@ -211,7 +278,7 @@ func EinsumParsed(spec EinsumSpec, operands ...*Tensor) (*Tensor, error) {
 		total *= d
 	}
 	if total == 0 {
-		return out, nil
+		return
 	}
 	odometer := make([]int, len(labels))
 	offsets := make([]int, len(operands))
@@ -243,5 +310,4 @@ func EinsumParsed(spec EinsumSpec, operands ...*Tensor) (*Tensor, error) {
 			break
 		}
 	}
-	return out, nil
 }

@@ -1,0 +1,102 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Process-wide worker pool for intra-op kernel parallelism. A kernel
+// partitions its *output* rows into one contiguous chunk per worker, so
+// every element is accumulated by exactly one goroutine in the fixed
+// ascending-K order — results are byte-identical for any worker count,
+// which preserves the runtime-vs-interpreter bit-identical cross-check.
+
+// maxKernelWorkers bounds the configurable parallelism; beyond this the
+// chunking overhead dwarfs any win.
+const maxKernelWorkers = 1024
+
+// kernelWorkers holds the configured worker count; zero means "follow
+// GOMAXPROCS".
+var kernelWorkers atomic.Int32
+
+// SetKernelWorkers sets the process-wide intra-op parallelism of the
+// einsum kernel engine. n <= 0 restores the default (GOMAXPROCS at call
+// time). The setting changes only how work is partitioned, never the
+// result bytes.
+func SetKernelWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > maxKernelWorkers {
+		n = maxKernelWorkers
+	}
+	kernelWorkers.Store(int32(n))
+}
+
+// KernelWorkers returns the effective intra-op worker count.
+func KernelWorkers() int {
+	if n := kernelWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+var (
+	workerOnce sync.Once
+	workQueue  chan func()
+)
+
+// submit hands one chunk to the pool, spilling to a fresh goroutine
+// when every pooled worker is busy — concurrent device goroutines may
+// request parallel kernels at once, and a kernel must never wait on a
+// queue its peers are also filling.
+func submit(f func()) {
+	workerOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		workQueue = make(chan func(), 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for g := range workQueue {
+					g()
+				}
+			}()
+		}
+	})
+	select {
+	case workQueue <- f:
+	default:
+		go f()
+	}
+}
+
+// parallelRows runs fn over [0, rows) split into at most workers
+// contiguous chunks. The caller's goroutine computes the first chunk
+// while the pool computes the rest. The chunk boundaries depend only on
+// (rows, workers); which goroutine runs a chunk never matters because
+// chunks are disjoint.
+func parallelRows(rows, workers int, fn func(lo, hi int)) {
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := chunk; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		lo, hi := lo, hi
+		wg.Add(1)
+		submit(func() {
+			defer wg.Done()
+			fn(lo, hi)
+		})
+	}
+	fn(0, chunk)
+	wg.Wait()
+}

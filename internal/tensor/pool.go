@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-keyed scratch-buffer pool for the kernel engine. Packed-operand
+// and packed-accumulator buffers are transient — alive only for one
+// kernel execution — so recycling them keeps the decomposed loop's
+// steady state free of per-step data-sized allocations. Buffers are
+// binned by power-of-two capacity; a returned buffer serves any later
+// request of its class. Contents are not zeroed on reuse: every kernel
+// path fully overwrites its scratch before reading it.
+
+const numBufClasses = 40
+
+var bufClasses [numBufClasses]sync.Pool
+
+// bufClass returns the pool bin for a buffer of n float64s: the
+// smallest c with 1<<c >= n.
+func bufClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// getBuf returns a length-n scratch buffer, reusing a pooled one when
+// the size class has any. The pointer form keeps sync.Pool round trips
+// allocation-free.
+func getBuf(n int) *[]float64 {
+	c := bufClass(n)
+	if v := bufClasses[c].Get(); v != nil {
+		p := v.(*[]float64)
+		*p = (*p)[:n]
+		kernelPoolReusedBytes.Add(float64(8 * n))
+		return p
+	}
+	s := make([]float64, 1<<c)
+	s = s[:n]
+	kernelPoolFreshBytes.Add(float64(8 * n))
+	return &s
+}
+
+// putBuf recycles a buffer obtained from getBuf.
+func putBuf(p *[]float64) {
+	c := cap(*p)
+	if c == 0 || c&(c-1) != 0 {
+		return // only exact power-of-two capacities are pool-shaped
+	}
+	*p = (*p)[:c]
+	bufClasses[bufClass(c)].Put(p)
+}

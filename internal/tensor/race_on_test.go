@@ -1,0 +1,8 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports that this binary was built with the race
+// detector, under which sync.Pool deliberately drops items and
+// allocation counts are not representative.
+const raceEnabled = true

@@ -2,10 +2,15 @@
 // the reproduction builds on: shapes, general Einstein summation, slicing,
 // padding, concatenation and element-wise math.
 //
-// The package is a correctness substrate, not a performance library. All
-// values are stored as float64 in row-major order so that the functional
-// SPMD interpreter (internal/sim) can prove rewrites semantically
-// equivalent; timing comes from the analytic machine model instead.
+// The package is a correctness substrate first: all values are stored
+// as float64 in row-major order so that the functional SPMD interpreter
+// (internal/sim) can prove rewrites semantically equivalent; timing
+// comes from the analytic machine model instead. Einsums nevertheless
+// execute through a real kernel engine (kernel.go): two-operand specs
+// lower to a cache-blocked batched GEMM with optional intra-op
+// parallelism (SetKernelWorkers), constrained to produce bytes
+// identical to the scalar reference path — speed without giving up the
+// executors' bit-identical cross-checks.
 package tensor
 
 import (

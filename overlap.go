@@ -182,6 +182,16 @@ func TraceJSON(events []TraceEvent) ([]byte, error) { return sim.TraceJSON(event
 // it with WritePrometheus/JSON/WriteFile or serve it with ServeMetrics.
 func Metrics() *MetricsRegistry { return obs.Default() }
 
+// SetKernelWorkers sets the process-wide intra-op parallelism of the
+// einsum kernel engine: how many goroutines each sufficiently large
+// einsum partitions its output across. n <= 0 restores the default
+// (GOMAXPROCS). The setting changes only execution speed — kernel
+// results are byte-identical for every worker count.
+func SetKernelWorkers(n int) { tensor.SetKernelWorkers(n) }
+
+// KernelWorkers returns the effective intra-op kernel worker count.
+func KernelWorkers() int { return tensor.KernelWorkers() }
+
 // Attribute runs the overlap-attribution analyzer over a trace
 // (simulated or measured) and reports, per collective instruction, how
 // much of its wire time was hidden under which partial einsum versus
