@@ -19,13 +19,16 @@
 //	overlaprun -model GPT_32B -attrib                   # per-collective overlap attribution
 //	overlaprun -metrics-out run.prom                    # telemetry export (Prometheus text)
 //	overlaprun -serve :9090                             # live /metrics endpoint
+//	overlaprun -fault drop:link:0-1 -deadline 2s        # chaos: inject a fault, bound the stall
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"overlap"
 	"overlap/internal/core"
@@ -46,9 +49,21 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "export telemetry to this file (Prometheus text, or JSON with a .json suffix)")
 	serveAddr := flag.String("serve", "", "serve a live /metrics endpoint at this address and stay up after the run")
 	kernelWorkers := flag.Int("kernel-workers", 0, "intra-op einsum kernel parallelism (0 = GOMAXPROCS); results are byte-identical for any value")
+	faultSpec := flag.String("fault", "", "inject faults, comma-separated: crash:dev:D[:K], drop:link:S-D[:K], dup:link:S-D[:K], delay:link:S-D:DUR[:JITTER]")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for fault-injection jitter (deterministic per seed)")
+	deadline := flag.Duration("deadline", 0, "abort a run that exceeds this wall-clock with a structured error (0 = no deadline)")
 	flag.Parse()
 
 	overlap.SetKernelWorkers(*kernelWorkers)
+
+	faults, err := overlap.ParseFaults(*faultSpec)
+	if err != nil {
+		fail(err)
+	}
+	if faults != nil {
+		faults.Seed = *faultSeed
+		fmt.Printf("injecting faults: %s (seed %d)\n", faults, *faultSeed)
+	}
 
 	if *serveAddr != "" {
 		_, addr, err := overlap.ServeMetrics(*serveAddr)
@@ -73,17 +88,24 @@ func main() {
 	if *mode != "all" {
 		modes = []string{*mode}
 	}
+	var runErr error
 	for _, m := range modes {
-		if err := runMode(mini, m, *devices, *timeScale, *traceFile, *check, *attrib); err != nil {
-			fail(err)
+		if err := runMode(mini, m, *devices, *timeScale, *traceFile, *check, *attrib, faults, *deadline); err != nil {
+			runErr = err
+			break
 		}
 	}
 
+	// Telemetry is written even when a run failed: the fault/abort
+	// counters of a chaos run are exactly what the caller wants to see.
 	if *metricsOut != "" {
 		if err := overlap.Metrics().WriteFile(*metricsOut); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote telemetry to %s\n", *metricsOut)
+	}
+	if runErr != nil {
+		fail(runErr)
 	}
 	if *serveAddr != "" {
 		fmt.Println("runs done; serving /metrics until interrupted")
@@ -94,7 +116,7 @@ func main() {
 // runMode builds the miniature layer graph, applies the pipeline the
 // mode names, executes it on the runtime, and prints the measured
 // breakdown (plus, with -attrib, where each collective's wire time hid).
-func runMode(cfg models.Config, mode string, devices int, timeScale float64, traceFile string, check, attrib bool) error {
+func runMode(cfg models.Config, mode string, devices int, timeScale float64, traceFile string, check, attrib bool, faults *overlap.FaultPlan, deadline time.Duration) error {
 	c, err := overlap.BuildLayerStep(cfg)
 	if err != nil {
 		return err
@@ -121,12 +143,18 @@ func runMode(cfg models.Config, mode string, devices int, timeScale float64, tra
 	}
 
 	args := randomArgs(c)
-	ropts := overlap.RunOptions{Spec: spec, TimeScale: timeScale}
+	ropts := overlap.RunOptions{Spec: spec, TimeScale: timeScale, Faults: faults}
 	writeTrace := traceFile != "" && mode == "overlap"
 	if writeTrace || attrib {
 		ropts.Trace = true
 	}
-	res, err := overlap.Run(c, devices, args, ropts)
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	res, err := overlap.RunContext(ctx, c, devices, args, ropts)
 	if err != nil {
 		return err
 	}

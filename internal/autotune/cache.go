@@ -138,7 +138,9 @@ type cacheFile struct {
 
 // loadCache reads the cache file; a missing, unreadable, corrupt, or
 // version-mismatched file degrades to an empty cache — tuning must
-// never fail because a cache rotted.
+// never fail because a cache rotted. A file that exists but does not
+// parse (e.g. truncated by a crash mid-write before writes were atomic)
+// is counted as corrupt so the poisoning is visible in telemetry.
 func loadCache(path string) cacheFile {
 	empty := cacheFile{Version: cacheVersion, Entries: map[string]cacheEntry{}}
 	data, err := os.ReadFile(path)
@@ -146,7 +148,11 @@ func loadCache(path string) cacheFile {
 		return empty
 	}
 	var f cacheFile
-	if json.Unmarshal(data, &f) != nil || f.Version != cacheVersion || f.Entries == nil {
+	if json.Unmarshal(data, &f) != nil || f.Entries == nil {
+		atCacheCorrupt.Inc()
+		return empty
+	}
+	if f.Version != cacheVersion {
 		return empty
 	}
 	return f
@@ -183,7 +189,41 @@ func cacheStore(path, key string, res *Result) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return writeFileAtomic(path, data)
+}
+
+// writeFileAtomic replaces path's contents via a temp file in the same
+// directory and a rename, so a crash mid-write can never leave a
+// half-written JSON that poisons every later run: readers see either
+// the old cache or the new one, never a torn file.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".autotune-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil // committed: the deferred cleanup must not remove it
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }
 
 func deviceCount(key string) int {

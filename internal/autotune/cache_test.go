@@ -1,0 +1,113 @@
+package autotune
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadCacheCorruptCounted pins the degradation contract: a cache
+// file that fails to parse loads as empty (cold tune, never an error)
+// and bumps the corruption counter so the poisoning shows up in
+// telemetry. A version mismatch is a deliberate invalidation, not rot,
+// and must load cold without touching the counter.
+func TestLoadCacheCorruptCounted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "autotune.json")
+
+	before := atCacheCorrupt.Value()
+	if f := loadCache(path); len(f.Entries) != 0 {
+		t.Fatalf("missing file loaded %d entries", len(f.Entries))
+	}
+	if atCacheCorrupt.Value() != before {
+		t.Fatal("a missing cache file was counted as corrupt")
+	}
+
+	for _, junk := range []string{"{not json", `"a bare string"`, `{"version":2}`} {
+		if err := os.WriteFile(path, []byte(junk), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		before = atCacheCorrupt.Value()
+		f := loadCache(path)
+		if len(f.Entries) != 0 {
+			t.Fatalf("corrupt cache %q loaded %d entries", junk, len(f.Entries))
+		}
+		if f.Version != cacheVersion {
+			t.Fatalf("corrupt cache %q did not reset to version %d", junk, cacheVersion)
+		}
+		if atCacheCorrupt.Value() != before+1 {
+			t.Fatalf("corrupt cache %q did not bump the corruption counter", junk)
+		}
+	}
+
+	stale := cacheFile{Version: cacheVersion - 1, Entries: map[string]cacheEntry{"k": {}}}
+	data, err := json.Marshal(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before = atCacheCorrupt.Value()
+	if f := loadCache(path); len(f.Entries) != 0 {
+		t.Fatal("version-mismatched cache returned entries")
+	}
+	if atCacheCorrupt.Value() != before {
+		t.Fatal("a version mismatch was counted as corruption")
+	}
+}
+
+// TestWriteFileAtomic pins the crash-safe replace: the write goes
+// through a temp file and a rename, overwrites whatever was there
+// (including a torn file), and leaves no temp droppings behind on
+// either the success or the failure path.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "autotune.json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []byte(`{"version":2,"entries":{}}`)
+	if err := writeFileAtomic(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+	var parsed cacheFile
+	if err := json.Unmarshal(got, &parsed); err != nil {
+		t.Fatalf("replaced file is not valid JSON: %v", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind after a successful write", e.Name())
+		}
+	}
+
+	// Failure path: a directory that does not exist must error without
+	// dropping a temp file anywhere visible.
+	if err := writeFileAtomic(filepath.Join(dir, "missing", "autotune.json"), want); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+	entries, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind after a failed write", e.Name())
+		}
+	}
+}

@@ -20,4 +20,6 @@ var (
 		"Runtime executions performed by tuning (warmups and repeats included).")
 	atResidual = obs.Default().Gauge("overlap_autotune_calibration_residual",
 		"RMS relative step-time error of the latest machine-calibration fit.")
+	atCacheCorrupt = obs.Default().Counter("overlap_autotune_cache_corrupt_total",
+		"Existing decision-cache files that failed to parse and were treated as cold.")
 )

@@ -1,0 +1,118 @@
+package runtime_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"overlap/internal/core"
+	"overlap/internal/hlo"
+	"overlap/internal/runtime"
+)
+
+// TestCrashReleasesPeersInEveryPhase is the abort-path table: a device
+// crash injected while the program is in each pipeline regime — before
+// any transfer is posted, between a permute start and its done, while
+// peers are blocked inside a blocking-collective rendezvous, and inside
+// a fusion body — must release every peer goroutine and return the
+// injected crash as the run's first error, never deadlock and never
+// surface a cascade error. The 5s RunContext deadline is a tripwire:
+// if a peer were left blocked, the error would be a deadline instead
+// of the crash and the test fails. The whole table also runs in CI's
+// race job (go test -race ./...).
+func TestCrashReleasesPeersInEveryPhase(t *testing.T) {
+	const n = 4
+	rng := rand.New(rand.NewSource(17))
+	site := goldenSites(n, rng)[0]
+
+	// The decomposed, unrolled, fused program: asynchronous permute
+	// starts/dones with partial einsums between them and fusion bodies.
+	decomposed := site.build()
+	if _, err := core.Apply(decomposed, forceOpts(true, true)); err != nil {
+		t.Fatal(err)
+	}
+	instrs := decomposed.Instructions()
+	idxOf := func(op hlo.OpCode, after int) int {
+		for i := after; i < len(instrs); i++ {
+			if instrs[i].Op == op {
+				return i
+			}
+		}
+		return -1
+	}
+	startIdx := idxOf(hlo.OpCollectivePermuteStart, 0)
+	doneIdx := idxOf(hlo.OpCollectivePermuteDone, startIdx)
+	fusionIdx := idxOf(hlo.OpFusion, 0)
+	if startIdx < 0 || doneIdx < 0 {
+		t.Fatal("decomposed program has no async permute pair")
+	}
+	if startIdx+1 >= doneIdx {
+		t.Fatal("no instruction scheduled between start and done; the overlap schedule should interleave compute")
+	}
+
+	// The untransformed program keeps its blocking AllGather, so
+	// crashing one device right at the collective leaves every peer
+	// blocked in rendezvous until the abort releases them.
+	blocking := site.build()
+	agIdx := -1
+	for i, in := range blocking.Instructions() {
+		if in.Op == hlo.OpAllGather {
+			agIdx = i
+			break
+		}
+	}
+	if agIdx < 0 {
+		t.Fatal("blocking program has no all-gather")
+	}
+
+	cases := []struct {
+		name   string
+		comp   *hlo.Computation
+		device int
+		k      int
+	}{
+		{"before-first-post", decomposed, 2, 0},
+		{"between-start-and-done", decomposed, 1, startIdx + 1},
+		{"inside-rendezvous", blocking, 1, agIdx},
+		{"mid-fusion", decomposed, 3, fusionIdx},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.k < 0 {
+				t.Skipf("program has no instruction for phase %s", tc.name)
+			}
+			crash := runtime.Fault{Kind: runtime.FaultCrash, Device: tc.device, K: tc.k}
+			opts := runtime.Options{Faults: &runtime.FaultPlan{Faults: []runtime.Fault{crash}}}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+
+			t0 := time.Now()
+			_, err := runtime.RunContext(ctx, tc.comp, site.n, site.args, opts)
+			elapsed := time.Since(t0)
+			if err == nil {
+				t.Fatalf("crash at instruction %d did not fail the run", tc.k)
+			}
+			if elapsed > 4*time.Second {
+				t.Fatalf("abort took %s to release the peers", elapsed)
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("peers were released by the deadline, not the abort: %v", err)
+			}
+			var re *runtime.RunError
+			if !errors.As(err, &re) {
+				t.Fatalf("error %v is not a *RunError", err)
+			}
+			if !errors.Is(err, runtime.ErrInjectedCrash) {
+				t.Fatalf("first error %v is not the injected crash", err)
+			}
+			if re.Device != tc.device {
+				t.Fatalf("error attributes device %d, want crashed device %d", re.Device, tc.device)
+			}
+			if re.Fault != crash.String() {
+				t.Fatalf("error fault %q, want %q", re.Fault, crash)
+			}
+		})
+	}
+}

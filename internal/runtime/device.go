@@ -1,15 +1,26 @@
 package runtime
 
 import (
+	"sync"
+
 	"overlap/internal/hlo"
 	"overlap/internal/sim"
 	"overlap/internal/tensor"
 )
 
+// devStatus is what a device was last doing, published for the deadline
+// watchdog: the pipeline phase and when the device entered it. The
+// instruction name lives beside it in device.statInstr.
+type devStatus struct {
+	phase Phase
+	since float64
+}
+
 // device is one SPMD participant: a goroutine executing the scheduled
 // instruction sequence against its own arena. All of its fields are
-// goroutine-local while running; the engine reads them only after the
-// device has joined.
+// goroutine-local while running, except the watchdog-facing status,
+// which is published under statMu; the engine reads everything else
+// only after the device has joined.
 type device struct {
 	id  int
 	eng *engine
@@ -24,6 +35,11 @@ type device struct {
 	// sequence everywhere.
 	execCount map[*hlo.Instruction]int
 
+	// seq counts every instruction this device has executed, in program
+	// order with loop bodies counted once per iteration — the index
+	// crash faults address.
+	seq int
+
 	// Measured seconds: local evaluation, initiated wire occupancy, and
 	// time spent blocked on communication.
 	compute, wire, exposed float64
@@ -34,6 +50,10 @@ type device struct {
 
 	finished float64
 	trace    []sim.TraceEvent
+
+	statMu    sync.Mutex
+	status    devStatus
+	statInstr string
 }
 
 func newDevice(e *engine, id int) *device {
@@ -45,12 +65,38 @@ func newDevice(e *engine, id int) *device {
 	}
 }
 
+// setStat publishes the phase the device is entering; the watchdog uses
+// it to attribute deadline aborts to the device blocked longest in the
+// most communication-bound phase.
+func (d *device) setStat(phase Phase, instr string) {
+	d.statMu.Lock()
+	d.status = devStatus{phase: phase, since: d.eng.since()}
+	d.statInstr = instr
+	d.statMu.Unlock()
+}
+
+// clearStat marks the device idle (finished or failed).
+func (d *device) clearStat() {
+	d.statMu.Lock()
+	d.status = devStatus{}
+	d.statInstr = ""
+	d.statMu.Unlock()
+}
+
+// stat returns the device's published status.
+func (d *device) stat() (devStatus, string) {
+	d.statMu.Lock()
+	defer d.statMu.Unlock()
+	return d.status, d.statInstr
+}
+
 // run executes the top-level sequence and records the device's total
 // wall-clock. Any failure aborts the whole engine.
 func (d *device) run(paramFor func(p *hlo.Instruction, dev int) *tensor.Tensor) {
 	resolve := func(p *hlo.Instruction) *tensor.Tensor { return paramFor(p, d.id) }
 	d.runSeq(d.eng.comp.Instructions(), d.values, 0, resolve)
 	d.finished = d.eng.since()
+	d.clearStat()
 }
 
 // runSeq executes one instruction sequence (the program, or a loop body
@@ -59,6 +105,18 @@ func (d *device) run(paramFor func(p *hlo.Instruction, dev int) *tensor.Tensor) 
 func (d *device) runSeq(instrs []*hlo.Instruction, values map[*hlo.Instruction]*tensor.Tensor, iter int, resolve func(p *hlo.Instruction) *tensor.Tensor) bool {
 	e := d.eng
 	for _, in := range instrs {
+		if e.inj != nil {
+			if f, ok := e.inj.crash(d.id, d.seq); ok {
+				e.inj.record(f, in.Name)
+				rtFaultCrashes.Inc()
+				e.fail(&RunError{
+					Device: d.id, Instr: in.Name, Phase: PhaseCompute,
+					Elapsed: e.sinceDur(), Fault: f.String(), Err: ErrInjectedCrash,
+				})
+				return false
+			}
+		}
+		d.seq++
 		rtInstructions.Inc()
 		switch in.Op {
 		case hlo.OpParameter:
@@ -69,6 +127,7 @@ func (d *device) runSeq(instrs []*hlo.Instruction, values map[*hlo.Instruction]*
 
 		case hlo.OpAllGather, hlo.OpReduceScatter, hlo.OpAllReduce,
 			hlo.OpAllToAll, hlo.OpCollectivePermute:
+			d.setStat(PhaseRendezvous, in.Name)
 			gen := d.bump(in)
 			t0 := e.since()
 			out, ok := e.rendezvous(in, gen, d.id, values[in.Operands[0]])
@@ -90,6 +149,7 @@ func (d *device) runSeq(instrs []*hlo.Instruction, values map[*hlo.Instruction]*
 			values[in] = operand
 			inst := d.bump(in)
 			if target, ok := in.PairTarget(d.id); ok {
+				d.setStat(PhasePost, in.Name)
 				bytes := in.Operands[0].ByteSize()
 				if !e.fabric.post(d.id, target, mailKey{start: in, inst: inst}, operand, bytes) {
 					return false
@@ -108,6 +168,7 @@ func (d *device) runSeq(instrs []*hlo.Instruction, values map[*hlo.Instruction]*
 			t0 := e.since()
 			var out *tensor.Tensor
 			if _, ok := in.PairSource(d.id); ok {
+				d.setStat(PhaseReceive, in.Name)
 				t, alive := e.fabric.receive(d.id, mailKey{start: start, inst: inst})
 				if !alive {
 					return false
@@ -137,10 +198,14 @@ func (d *device) runSeq(instrs []*hlo.Instruction, values map[*hlo.Instruction]*
 			for i, op := range in.Operands {
 				ops[i] = values[op]
 			}
+			d.setStat(PhaseCompute, in.Name)
 			t0 := e.since()
 			v, err := sim.EvalLocal(in, ops, d.id, iter)
 			if err != nil {
-				e.fail(formatErr("device %d: %v", d.id, err))
+				e.fail(&RunError{
+					Device: d.id, Instr: in.Name, Phase: PhaseCompute,
+					Elapsed: e.sinceDur(), Err: err,
+				})
 				return false
 			}
 			dur := e.since() - t0

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -13,14 +14,17 @@ import (
 
 // engine owns one concurrent execution: the shared rendezvous registry
 // for blocking collectives, the link fabric for asynchronous transfers,
-// and the abort machinery that lets any device fail the run without
+// the fault injector (nil when no plan is set), and the abort machinery
+// that lets any device — or the run deadline — fail the run without
 // deadlocking the others.
 type engine struct {
 	comp *hlo.Computation
 	n    int
 	opts Options
 
-	fabric *fabric
+	fabric  *fabric
+	inj     *injector
+	devices []*device
 
 	mu    sync.Mutex
 	gens  map[rvKey]*genState
@@ -28,7 +32,8 @@ type engine struct {
 	once  sync.Once
 	err   error
 
-	epoch time.Time
+	epoch    time.Time
+	failedAt time.Time
 }
 
 func newEngine(c *hlo.Computation, numDevices int, opts Options) *engine {
@@ -39,22 +44,48 @@ func newEngine(c *hlo.Computation, numDevices int, opts Options) *engine {
 		gens:  map[rvKey]*genState{},
 		abort: make(chan struct{}),
 	}
+	if opts.Faults != nil && len(opts.Faults.Faults) > 0 {
+		e.inj = newInjector(opts.Faults)
+	}
 	e.fabric = newFabric(e)
 	return e
 }
 
 // fail records the first error and releases every blocked goroutine.
+// Everything that can stop a run funnels through here, so the error the
+// caller sees is always the first failure, never a cascade effect.
 func (e *engine) fail(err error) {
 	e.once.Do(func() {
 		e.err = err
+		e.failedAt = time.Now()
+		rtAborts.Inc()
 		close(e.abort)
 	})
 }
 
-// run launches one goroutine per device, joins them, winds down the
-// fabric, and assembles the per-device values and measured breakdown.
-func (e *engine) run(args [][]*tensor.Tensor) (*Result, error) {
-	devices := make([]*device, e.n)
+// sleep holds the caller for d of modeled wire or collective time, but
+// wakes immediately when the run aborts — a failed run must never wait
+// out an in-flight transfer. It reports false when the abort cut the
+// sleep short.
+func (e *engine) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-e.abort:
+		return false
+	}
+}
+
+// run launches one goroutine per device, arms the deadline watchdog,
+// joins everything, winds down the fabric, and assembles the per-device
+// values and measured breakdown.
+func (e *engine) run(ctx context.Context, args [][]*tensor.Tensor) (*Result, error) {
+	e.devices = make([]*device, e.n)
 	paramFor := func(p *hlo.Instruction, dev int) *tensor.Tensor {
 		set := args[p.ParamIndex]
 		if len(set) == 1 {
@@ -67,7 +98,7 @@ func (e *engine) run(args [][]*tensor.Tensor) (*Result, error) {
 	var wg sync.WaitGroup
 	for d := 0; d < e.n; d++ {
 		dev := newDevice(e, d)
-		devices[d] = dev
+		e.devices[d] = dev
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -78,19 +109,85 @@ func (e *engine) run(args [][]*tensor.Tensor) (*Result, error) {
 			// instead of deadlocking.
 			defer func() {
 				if r := recover(); r != nil {
-					e.fail(fmt.Errorf("runtime: device %d: panic: %v", dev.id, r))
+					_, instr := dev.stat()
+					e.fail(&RunError{
+						Device: dev.id, Instr: instr, Phase: PhaseCompute,
+						Elapsed: e.sinceDur(), Err: fmt.Errorf("panic: %v", r),
+					})
 				}
 			}()
 			dev.run(paramFor)
 		}()
 	}
+
+	// The watchdog turns a stalled transfer or livelocked rendezvous
+	// into a structured, attributed error instead of a hang: when the
+	// context expires it fails the run, which releases every select on
+	// e.abort.
+	var watchdog sync.WaitGroup
+	watchStop := make(chan struct{})
+	if ctx.Done() != nil {
+		watchdog.Add(1)
+		go func() {
+			defer watchdog.Done()
+			select {
+			case <-ctx.Done():
+				derr := e.deadlineError(ctx.Err())
+				e.fail(derr)
+				if e.err == derr {
+					// The deadline won the race to be the first error
+					// (fail is once-only, so e.err is stable here).
+					rtAbortDeadlines.Inc()
+				}
+			case <-watchStop:
+			}
+		}()
+	}
+
 	wg.Wait()
+	close(watchStop)
+	watchdog.Wait()
 	e.fabric.shutdown()
 
 	if e.err != nil {
+		rtAbortJoin.Observe(time.Since(e.failedAt).Seconds())
 		return nil, e.err
 	}
-	return e.assemble(devices), nil
+	return e.assemble(e.devices), nil
+}
+
+// deadlineError attributes a deadline abort: to the fired drop/delay
+// fault when injection caused the stall, otherwise to the device that
+// has been blocked the longest in the most communication-bound phase.
+func (e *engine) deadlineError(cause error) *RunError {
+	re := &RunError{Device: -1, Elapsed: e.sinceDur(), Err: cause}
+	if e.inj != nil {
+		if ff, ok := e.inj.firstStall(); ok {
+			re.Device = ff.fault.Dst
+			re.Instr = ff.instr
+			re.Phase = PhaseReceive
+			re.Fault = ff.fault.String()
+			return re
+		}
+	}
+	rank := map[Phase]int{PhaseReceive: 3, PhasePost: 2, PhaseRendezvous: 1, PhaseCompute: 0}
+	bestSince := 0.0
+	for _, dev := range e.devices {
+		st, instr := dev.stat()
+		if st.phase == "" {
+			continue
+		}
+		better := re.Phase == "" ||
+			rank[st.phase] > rank[re.Phase] ||
+			(rank[st.phase] == rank[re.Phase] && st.since < bestSince)
+		if better {
+			re.Device = dev.id
+			re.Instr = instr
+			re.Phase = st.phase
+			bestSince = st.since
+		}
+	}
+	return re
 }
 
 // assemble merges the per-device arenas, stats, and trace buffers into
@@ -163,3 +260,15 @@ func (e *engine) traceWindow() int {
 
 // since returns seconds elapsed from the execution epoch.
 func (e *engine) since() float64 { return time.Since(e.epoch).Seconds() }
+
+// sinceDur returns the elapsed run time as a duration.
+func (e *engine) sinceDur() time.Duration { return time.Since(e.epoch) }
+
+// injLink returns the fault state for one directed edge, nil when no
+// fault addresses it.
+func (e *engine) injLink(src, dst int) *linkFaults {
+	if e.inj == nil {
+		return nil
+	}
+	return e.inj.links[[2]int{src, dst}]
+}

@@ -45,6 +45,13 @@ type fabric struct {
 
 	mailMu []sync.Mutex
 	mail   []map[mailKey]chan *tensor.Tensor
+
+	// delivered marks transfer instances already handed to each device,
+	// enforcing the at-most-once invariant the capacity-1 mailboxes rely
+	// on: a second delivery of the same key (possible only under
+	// duplicate-delivery fault injection, or a fabric bug) fails the run
+	// instead of wedging a link goroutine.
+	delivered []map[mailKey]bool
 }
 
 // linkBuffer bounds parcels queued on one edge before the wire; a start
@@ -58,13 +65,15 @@ const linkBuffer = 64
 // goroutine per edge.
 func newFabric(e *engine) *fabric {
 	f := &fabric{
-		eng:    e,
-		links:  map[[2]int]*link{},
-		mailMu: make([]sync.Mutex, e.n),
-		mail:   make([]map[mailKey]chan *tensor.Tensor, e.n),
+		eng:       e,
+		links:     map[[2]int]*link{},
+		mailMu:    make([]sync.Mutex, e.n),
+		mail:      make([]map[mailKey]chan *tensor.Tensor, e.n),
+		delivered: make([]map[mailKey]bool, e.n),
 	}
 	for d := 0; d < e.n; d++ {
 		f.mail[d] = map[mailKey]chan *tensor.Tensor{}
+		f.delivered[d] = map[mailKey]bool{}
 	}
 	e.comp.Walk(func(in *hlo.Instruction) {
 		if in.Op != hlo.OpCollectivePermuteStart {
@@ -90,28 +99,106 @@ func newFabric(e *engine) *fabric {
 // serve is one link goroutine: drain parcels in order, hold the wire for
 // the modeled time, deliver into the destination mailbox. Sleeping here
 // releases the OS thread, so device goroutines compute while transfers
-// are in flight — including on a single-core host.
+// are in flight — including on a single-core host. The sleep selects
+// against the engine's abort so a failed run never waits out an
+// in-flight transfer, and the injector can drop, duplicate, or delay
+// individual deliveries at this choke point.
 func (f *fabric) serve(l *link) {
+	e := f.eng
+	lf := e.injLink(l.src, l.dst)
 	for p := range l.ch {
-		start := f.eng.since()
-		if d := f.eng.transferDelay(p.bytes); d > 0 {
-			time.Sleep(d)
+		start := e.since()
+		wire := e.transferDelay(p.bytes)
+		var dup *Fault
+		if lf != nil {
+			k := lf.next()
+			if flt, ok := lf.drops[k]; ok {
+				e.inj.record(flt, p.key.start.Name)
+				rtFaultDrops.Inc()
+				continue // lost on the wire: never delivered
+			}
+			for _, flt := range lf.delays {
+				if flt.K >= 0 && flt.K != k {
+					continue
+				}
+				extra := flt.Delay
+				if flt.Jitter > 0 {
+					extra += time.Duration(lf.rng.Float64() * float64(flt.Jitter))
+				}
+				wire += extra
+				e.inj.record(flt, p.key.start.Name)
+				rtFaultDelays.Inc()
+			}
+			if flt, ok := lf.dups[k]; ok {
+				flt := flt
+				dup = &flt
+			}
 		}
-		if f.eng.opts.Trace && l.src < f.eng.traceWindow() {
+		if !e.sleep(wire) {
+			continue // aborted mid-wire: keep draining without sleeping
+		}
+		if e.opts.Trace && l.src < e.traceWindow() {
 			l.trace = append(l.trace, sim.TraceEvent{
 				Name: p.key.start.Name, Cat: "transfer", Ph: "X",
-				TS: start * 1e6, Dur: (f.eng.since() - start) * 1e6,
+				TS: start * 1e6, Dur: (e.since() - start) * 1e6,
 				PID: l.src, TID: sim.TraceTIDTransfer,
 			})
 		}
-		f.mailbox(l.dst, p.key) <- p.data
+		f.deliver(l.dst, p.key, p.data, "")
+		if dup != nil {
+			e.inj.record(*dup, p.key.start.Name)
+			rtFaultDuplicates.Inc()
+			f.deliver(l.dst, p.key, p.data, dup.String())
+		}
+	}
+}
+
+// deliver hands one parcel to its destination mailbox, enforcing
+// at-most-once delivery per transfer instance. fault carries the
+// injected-fault description when this delivery is itself the fault (a
+// duplicate); a detected duplicate fails the run with a structured
+// error attributed to the receiving device.
+func (f *fabric) deliver(dst int, key mailKey, data *tensor.Tensor, fault string) {
+	f.mailMu[dst].Lock()
+	if f.delivered[dst][key] {
+		f.mailMu[dst].Unlock()
+		f.eng.fail(&RunError{
+			Device: dst, Instr: key.start.Name, Phase: PhaseReceive,
+			Elapsed: f.eng.sinceDur(), Fault: fault, Err: ErrDuplicateDelivery,
+		})
+		return
+	}
+	f.delivered[dst][key] = true
+	ch, ok := f.mail[dst][key]
+	if !ok {
+		ch = make(chan *tensor.Tensor, 1)
+		f.mail[dst][key] = ch
+	}
+	f.mailMu[dst].Unlock()
+	// The at-most-once mark above guarantees room in the capacity-1
+	// mailbox, so this send cannot block in a healthy run; the abort arm
+	// is belt-and-braces for faulted ones.
+	select {
+	case ch <- data:
+	case <-f.eng.abort:
 	}
 }
 
 // post enqueues a transfer on its link without waiting for the wire.
-// It reports false if the run aborted while the link queue was full.
+// It reports false if the run aborted while the link queue was full, or
+// if no link exists for the edge — a malformed program or a pair
+// mutated after fabric construction — which fails the run with an error
+// naming the edge instead of blocking on a nil channel forever.
 func (f *fabric) post(src, dst int, key mailKey, data *tensor.Tensor, bytes int64) bool {
-	l := f.links[[2]int{src, dst}]
+	l, ok := f.links[[2]int{src, dst}]
+	if !ok {
+		f.eng.fail(&RunError{
+			Device: src, Instr: key.start.Name, Phase: PhasePost,
+			Elapsed: f.eng.sinceDur(),
+			Err:     formatErr("%w %d->%d (permute pair absent at fabric build time)", ErrMissingLink, src, dst),
+		})
+		return false
+	}
 	p := parcel{key: key, data: data, bytes: bytes}
 	select {
 	case l.ch <- p:
@@ -136,8 +223,9 @@ func (f *fabric) receive(dst int, key mailKey) (*tensor.Tensor, bool) {
 
 // mailbox returns the single-parcel channel for one transfer instance at
 // one device, creating it on first use by either side. Each key carries
-// exactly one parcel (validation enforces unique pair sources), so
-// delivery into the capacity-1 channel never blocks a link goroutine.
+// exactly one parcel (validation enforces unique pair sources, the
+// fabric enforces at-most-once delivery), so delivery into the
+// capacity-1 channel never blocks a link goroutine.
 func (f *fabric) mailbox(dev int, key mailKey) chan *tensor.Tensor {
 	f.mailMu[dev].Lock()
 	defer f.mailMu[dev].Unlock()
@@ -152,7 +240,8 @@ func (f *fabric) mailbox(dev int, key mailKey) chan *tensor.Tensor {
 // shutdown closes every link and joins the link goroutines. Called after
 // all devices have returned: remaining parcels (possible only on abort)
 // drain into mailboxes nobody reads, which cannot block because each
-// key's channel has room for its one parcel.
+// key's channel has room for its one parcel and in-flight sleeps select
+// against the abort.
 func (f *fabric) shutdown() {
 	for _, l := range f.links {
 		close(l.ch)

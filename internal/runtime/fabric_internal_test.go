@@ -1,0 +1,87 @@
+package runtime
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"overlap/internal/hlo"
+	"overlap/internal/tensor"
+)
+
+// TestPostMissingLinkFailsFast pins the fabric's defense against edges
+// absent at build time: posting on a (src,dst) pair with no link — a
+// malformed program or pairs mutated after fabric construction — must
+// fail the run with a structured error naming the edge, not send on a
+// nil channel and block until some other failure aborts the run.
+func TestPostMissingLinkFailsFast(t *testing.T) {
+	c := hlo.NewComputation("missing-link")
+	a := c.Parameter(0, "a", []int{2, 2})
+	start := c.CollectivePermuteStart(a, []hlo.SourceTargetPair{{Source: 0, Target: 1}})
+	c.CollectivePermuteDone(start)
+
+	e := newEngine(c, 4, Options{})
+	defer e.fabric.shutdown()
+
+	done := make(chan bool, 1)
+	go func() {
+		// Edge 0->3 was never built: only 0->1 appears in the program.
+		done <- e.fabric.post(0, 3, mailKey{start: start}, tensor.New(2, 2), 16)
+	}()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("post on a missing link reported success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("post on a missing link blocked instead of failing fast")
+	}
+
+	var re *RunError
+	if !errors.As(e.err, &re) {
+		t.Fatalf("engine error %v is not a *RunError", e.err)
+	}
+	if !errors.Is(re, ErrMissingLink) {
+		t.Fatalf("error %v does not unwrap to ErrMissingLink", re)
+	}
+	if re.Device != 0 || re.Phase != PhasePost {
+		t.Fatalf("error attributes device %d phase %s, want device 0 phase post", re.Device, re.Phase)
+	}
+	for _, frag := range []string{"0->3", start.Name} {
+		if !strings.Contains(re.Error(), frag) {
+			t.Fatalf("error %q does not name %q", re.Error(), frag)
+		}
+	}
+}
+
+// TestInjectorJitterDeterministic pins the seeded jitter streams: the
+// same plan always produces the same per-link jitter sequence, and a
+// different seed produces a different one.
+func TestInjectorJitterDeterministic(t *testing.T) {
+	plan := func(seed int64) *FaultPlan {
+		return &FaultPlan{Seed: seed, Faults: []Fault{
+			{Kind: FaultDelay, Src: 0, Dst: 1, K: -1, Delay: time.Millisecond, Jitter: time.Millisecond},
+			{Kind: FaultDelay, Src: 1, Dst: 2, K: -1, Delay: time.Millisecond, Jitter: time.Millisecond},
+		}}
+	}
+	draw := func(p *FaultPlan) [][3]float64 {
+		inj := newInjector(p)
+		var out [][3]float64
+		for _, edge := range [][2]int{{0, 1}, {1, 2}} {
+			lf := inj.links[edge]
+			out = append(out, [3]float64{lf.rng.Float64(), lf.rng.Float64(), lf.rng.Float64()})
+		}
+		return out
+	}
+	a, b := draw(plan(7)), draw(plan(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different jitter stream on edge %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(plan(8))
+	if a[0] == c[0] && a[1] == c[1] {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}

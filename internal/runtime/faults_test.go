@@ -1,0 +1,229 @@
+package runtime_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"overlap/internal/hlo"
+	"overlap/internal/runtime"
+	"overlap/internal/tensor"
+)
+
+// TestParseFaults checks the CLI fault grammar round-trips through
+// Fault.String and rejects malformed specs.
+func TestParseFaults(t *testing.T) {
+	cases := []struct {
+		spec string
+		want runtime.Fault
+	}{
+		{"crash:dev:2", runtime.Fault{Kind: runtime.FaultCrash, Device: 2}},
+		{"crash:dev:1:40", runtime.Fault{Kind: runtime.FaultCrash, Device: 1, K: 40}},
+		{"drop:link:0-1", runtime.Fault{Kind: runtime.FaultDrop, Src: 0, Dst: 1}},
+		{"drop:link:3-0:2", runtime.Fault{Kind: runtime.FaultDrop, Src: 3, Dst: 0, K: 2}},
+		{"dup:link:1-2:1", runtime.Fault{Kind: runtime.FaultDuplicate, Src: 1, Dst: 2, K: 1}},
+		{"delay:link:0-1:50ms", runtime.Fault{Kind: runtime.FaultDelay, Src: 0, Dst: 1, K: -1, Delay: 50 * time.Millisecond}},
+		{"delay:link:0-1:50ms:10ms", runtime.Fault{Kind: runtime.FaultDelay, Src: 0, Dst: 1, K: -1, Delay: 50 * time.Millisecond, Jitter: 10 * time.Millisecond}},
+	}
+	for _, c := range cases {
+		plan, err := runtime.ParseFaults(c.spec)
+		if err != nil {
+			t.Fatalf("ParseFaults(%q): %v", c.spec, err)
+		}
+		if len(plan.Faults) != 1 || plan.Faults[0] != c.want {
+			t.Fatalf("ParseFaults(%q) = %+v, want %+v", c.spec, plan.Faults, c.want)
+		}
+		// Round-trip: the rendered fault must parse back to itself.
+		again, err := runtime.ParseFaults(plan.Faults[0].String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", plan.Faults[0], err)
+		}
+		if again.Faults[0] != c.want {
+			t.Fatalf("round trip %q = %+v, want %+v", c.spec, again.Faults[0], c.want)
+		}
+	}
+
+	multi, err := runtime.ParseFaults("crash:dev:0, drop:link:0-1:3")
+	if err != nil || len(multi.Faults) != 2 {
+		t.Fatalf("comma list parse: %v, %+v", err, multi)
+	}
+	if plan, err := runtime.ParseFaults(""); err != nil || plan != nil {
+		t.Fatalf("empty spec: %v, %+v", err, plan)
+	}
+
+	for _, bad := range []string{
+		"crash:dev", "crash:link:0-1", "crash:dev:x", "crash:dev:1:2:3",
+		"drop:dev:1", "drop:link:01", "drop:link:a-b", "drop:link:0-1:x",
+		"delay:link:0-1", "delay:link:0-1:nope", "delay:link:0-1:1ms:nope:extra",
+		"explode:dev:1", "nonsense",
+	} {
+		if _, err := runtime.ParseFaults(bad); err == nil {
+			t.Errorf("ParseFaults(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+// stallProgram builds a two-device program whose structure guarantees a
+// parcel is on the wire before the interesting instruction runs: device
+// 0 posts 0->1, both devices then synchronize on an AllGather barrier
+// (so the post has happened), an Add marks the crash point, and the
+// done completes the transfer.
+//
+// Per-device instruction indices: 0 param, 1 start, 2 all-gather,
+// 3 add, 4 done, 5 add (root).
+func stallProgram() (*hlo.Computation, [][]*tensor.Tensor) {
+	c := hlo.NewComputation("stall")
+	a := c.Parameter(0, "a", []int{8, 8})
+	start := c.CollectivePermuteStart(a, []hlo.SourceTargetPair{{Source: 0, Target: 1}})
+	ag := c.AllGather(a, 0, [][]int{{0, 1}})
+	c.Add(ag, ag)
+	done := c.CollectivePermuteDone(start)
+	c.Add(done, done)
+
+	rng := rand.New(rand.NewSource(21))
+	args := [][]*tensor.Tensor{{tensor.Rand(rng, 8, 8), tensor.Rand(rng, 8, 8)}}
+	return c, args
+}
+
+// TestAbortReturnsBeforeWireDelay is the regression test for the
+// fabric.serve abort bug: a link goroutine used to sleep out the full
+// modeled wire time even after the run failed, so a failing run stalled
+// in shutdown for up to the largest in-flight transfer. With a 10s
+// injected wire occupancy and a device crash mid-run, Run must return
+// the crash error in a small fraction of that.
+func TestAbortReturnsBeforeWireDelay(t *testing.T) {
+	c, args := stallProgram()
+	opts := runtime.Options{Faults: &runtime.FaultPlan{Faults: []runtime.Fault{
+		// The parcel posted by device 0 occupies the 0->1 wire for 10s.
+		{Kind: runtime.FaultDelay, Src: 0, Dst: 1, K: -1, Delay: 10 * time.Second},
+		// Device 1 crashes at the Add after the barrier, which the
+		// barrier guarantees is after device 0's post.
+		{Kind: runtime.FaultCrash, Device: 1, K: 3},
+	}}}
+
+	t0 := time.Now()
+	_, err := runtime.Run(c, 2, args, opts)
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("Run succeeded, want injected crash")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("failing run took %s, should return well before the 10s wire delay", elapsed)
+	}
+	var re *runtime.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a *RunError", err)
+	}
+	if !errors.Is(err, runtime.ErrInjectedCrash) || re.Device != 1 {
+		t.Fatalf("error %v does not attribute the crash to device 1", re)
+	}
+}
+
+// TestDeadlineDropAttribution pins RunContext's deadline path: a
+// dropped delivery stalls the receiver forever, the context deadline
+// fires, and the error is a *RunError attributing the stall to the
+// receiving device in phase receive, naming the injected fault, and
+// unwrapping to context.DeadlineExceeded.
+func TestDeadlineDropAttribution(t *testing.T) {
+	c, args := stallProgram()
+	drop := runtime.Fault{Kind: runtime.FaultDrop, Src: 0, Dst: 1, K: 0}
+	opts := runtime.Options{Faults: &runtime.FaultPlan{Faults: []runtime.Fault{drop}}}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := runtime.RunContext(ctx, c, 2, args, opts)
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("RunContext succeeded, want deadline abort")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline abort took %s to unwind", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not unwrap to context.DeadlineExceeded", err)
+	}
+	var re *runtime.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a *RunError", err)
+	}
+	if re.Device != 1 || re.Phase != runtime.PhaseReceive {
+		t.Fatalf("error %v, want device 1 phase receive", re)
+	}
+	if re.Fault != drop.String() {
+		t.Fatalf("error fault %q, want %q", re.Fault, drop)
+	}
+	if re.Elapsed < 300*time.Millisecond {
+		t.Fatalf("error elapsed %s is before the deadline", re.Elapsed)
+	}
+}
+
+// TestDuplicateDeliveryDetected pins the fabric's at-most-once
+// enforcement: an injected duplicate delivery is detected at the
+// mailbox and fails the run with a structured error at the receiving
+// device, rather than wedging the link goroutine on a full channel.
+func TestDuplicateDeliveryDetected(t *testing.T) {
+	c, args := stallProgram()
+	dup := runtime.Fault{Kind: runtime.FaultDuplicate, Src: 0, Dst: 1, K: 0}
+	opts := runtime.Options{Faults: &runtime.FaultPlan{Faults: []runtime.Fault{dup}}}
+
+	_, err := runtime.Run(c, 2, args, opts)
+	if err == nil {
+		t.Fatal("Run succeeded, want duplicate-delivery error")
+	}
+	if !errors.Is(err, runtime.ErrDuplicateDelivery) {
+		t.Fatalf("error %v does not unwrap to ErrDuplicateDelivery", err)
+	}
+	var re *runtime.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a *RunError", err)
+	}
+	if re.Device != 1 || re.Phase != runtime.PhaseReceive || re.Fault != dup.String() {
+		t.Fatalf("error %v, want device 1 phase receive fault %q", re, dup)
+	}
+}
+
+// TestFaultPlanValidation checks that plans addressing devices or edges
+// outside the run are rejected before any goroutine starts.
+func TestFaultPlanValidation(t *testing.T) {
+	c, args := stallProgram()
+	bad := []runtime.FaultPlan{
+		{Faults: []runtime.Fault{{Kind: runtime.FaultCrash, Device: 5}}},
+		{Faults: []runtime.Fault{{Kind: runtime.FaultCrash, Device: 0, K: -1}}},
+		{Faults: []runtime.Fault{{Kind: runtime.FaultDrop, Src: 0, Dst: 9}}},
+		{Faults: []runtime.Fault{{Kind: runtime.FaultDrop, Src: -1, Dst: 1}}},
+		{Faults: []runtime.Fault{{Kind: runtime.FaultDelay, Src: 0, Dst: 1, K: -1}}}, // no duration
+		{Faults: []runtime.Fault{{Kind: "explode", Device: 0}}},
+	}
+	for _, plan := range bad {
+		plan := plan
+		if _, err := runtime.Run(c, 2, args, runtime.Options{Faults: &plan}); err == nil {
+			t.Errorf("plan %s accepted, want validation error", &plan)
+		}
+	}
+}
+
+// TestDelayFaultPreservesResults checks that a small injected delay
+// (with jitter) only slows the run down: the outputs stay bit-identical
+// to an undelayed execution.
+func TestDelayFaultPreservesResults(t *testing.T) {
+	c, args := stallProgram()
+	clean, err := runtime.Run(c, 2, args, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := runtime.Options{Faults: &runtime.FaultPlan{Seed: 3, Faults: []runtime.Fault{
+		{Kind: runtime.FaultDelay, Src: 0, Dst: 1, K: -1, Delay: 10 * time.Millisecond, Jitter: 5 * time.Millisecond},
+	}}}
+	delayed, err := runtime.Run(c, 2, args, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range clean.Values {
+		if !delayed.Values[d].Equal(clean.Values[d]) {
+			t.Fatalf("device %d: delay fault changed the answer", d)
+		}
+	}
+}

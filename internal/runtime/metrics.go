@@ -21,3 +21,25 @@ var (
 	rtTransferBytes = obs.Default().Counter("overlap_runtime_transfer_bytes_total",
 		"Payload bytes posted onto link goroutines.")
 )
+
+// Fault-injection and abort-path telemetry: how often injected faults
+// fired (by kind), how often runs aborted (and why), and how fast the
+// abort path wound the goroutine fleet down once the first error hit.
+var (
+	rtFaultInjections = obs.Default().Counter("overlap_runtime_fault_injections_total",
+		"Injected faults that fired during runtime executions (all kinds).")
+	rtFaultDrops = obs.Default().Counter("overlap_runtime_fault_drops_total",
+		"Injected transfer deliveries dropped on the wire.")
+	rtFaultDuplicates = obs.Default().Counter("overlap_runtime_fault_duplicates_total",
+		"Injected duplicate transfer deliveries.")
+	rtFaultDelays = obs.Default().Counter("overlap_runtime_fault_delays_total",
+		"Injected extra wire delays applied to transfer deliveries.")
+	rtFaultCrashes = obs.Default().Counter("overlap_runtime_fault_crashes_total",
+		"Injected device crashes.")
+	rtAborts = obs.Default().Counter("overlap_runtime_abort_total",
+		"Runtime executions that aborted with an error.")
+	rtAbortDeadlines = obs.Default().Counter("overlap_runtime_abort_deadline_total",
+		"Runtime executions aborted by a context deadline or cancellation.")
+	rtAbortJoin = obs.Default().Histogram("overlap_runtime_abort_join_seconds",
+		"Wall-clock from the first failure to every device and link goroutine joined.", obs.TimeBuckets())
+)

@@ -1,8 +1,6 @@
 package runtime
 
 import (
-	"time"
-
 	"overlap/internal/collective"
 	"overlap/internal/hlo"
 	"overlap/internal/tensor"
@@ -56,8 +54,10 @@ func (e *engine) rendezvous(in *hlo.Instruction, gen, pid int, input *tensor.Ten
 	if last {
 		// The whole group is blocked here, so the group's wire time is
 		// serialized with its devices: one injected delay per instance.
-		if d := e.collectiveDelay(in); d > 0 {
-			time.Sleep(d)
+		// The sleep is abort-aware — on a failed run the waiters are
+		// released by the abort channel, not by gs.done.
+		if !e.sleep(e.collectiveDelay(in)) {
+			return nil, false
 		}
 		gs.outputs = collectiveResult(in, gs.inputs)
 		close(gs.done)

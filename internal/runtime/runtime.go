@@ -25,6 +25,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -54,6 +55,14 @@ type Options struct {
 	// TraceDevices bounds the devices recorded when tracing; zero means
 	// sim.TraceMaxDevices, mirroring the simulator's window.
 	TraceDevices int
+
+	// Faults injects deterministic, seeded failures — link delays,
+	// dropped or duplicated deliveries, device crashes — into the run.
+	// Nil (or an empty plan) injects nothing. Every injected failure
+	// surfaces as a structured *RunError, never a hang or wrong answer;
+	// pair drop/delay plans with RunContext so a stalled transfer is
+	// bounded by a deadline.
+	Faults *FaultPlan
 }
 
 // DefaultOptions returns options that inject wire delays from spec at a
@@ -94,11 +103,25 @@ type Result struct {
 // sim.Interpret's convention: args[i][d] is parameter i's value on
 // device d, and len(args[i]) == 1 supplies one replicated tensor.
 func Run(c *hlo.Computation, numDevices int, args [][]*tensor.Tensor, opts Options) (*Result, error) {
+	return RunContext(context.Background(), c, numDevices, args, opts)
+}
+
+// RunContext is Run with a deadline: when ctx expires or is cancelled,
+// the run aborts — every blocked device, link, and rendezvous wakes —
+// and the error is a *RunError attributing the stall to a device,
+// instruction, and phase (and, under fault injection, to the fault that
+// caused it), with the context error available via errors.Is. This is
+// how a stalled transfer or livelocked rendezvous surfaces as a
+// structured failure instead of hanging forever.
+func RunContext(ctx context.Context, c *hlo.Computation, numDevices int, args [][]*tensor.Tensor, opts Options) (*Result, error) {
 	if err := validate(c, numDevices, args, opts); err != nil {
 		return nil, err
 	}
+	if err := opts.Faults.validate(numDevices); err != nil {
+		return nil, err
+	}
 	eng := newEngine(c, numDevices, opts)
-	return eng.run(args)
+	return eng.run(ctx, args)
 }
 
 // transferDelay returns the injected wire occupancy of one point-to-point

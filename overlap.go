@@ -30,6 +30,7 @@
 package overlap
 
 import (
+	"context"
 	"net/http"
 
 	"overlap/internal/autotune"
@@ -77,6 +78,15 @@ type (
 	RunOptions = runtime.Options
 	// RunResult is a concurrent execution's values and measured timings.
 	RunResult = runtime.Result
+	// RunError is the structured failure of an aborted runtime
+	// execution: device, instruction, phase, elapsed wall-clock, and —
+	// under fault injection — the fault that caused it.
+	RunError = runtime.RunError
+	// FaultPlan is a deterministic, seeded set of faults to inject into
+	// a runtime execution (see RunOptions.Faults).
+	FaultPlan = runtime.FaultPlan
+	// Fault is one injected failure in a FaultPlan.
+	Fault = runtime.Fault
 	// TraceEvent is one Chrome-trace span (simulated or measured).
 	TraceEvent = sim.TraceEvent
 	// AutotuneOptions configures the profile-guided variant search.
@@ -147,6 +157,20 @@ func Interpret(c *Computation, numDevices int, args [][]*Tensor) ([]*Tensor, err
 func Run(c *Computation, numDevices int, args [][]*Tensor, opts RunOptions) (*RunResult, error) {
 	return runtime.Run(c, numDevices, args, opts)
 }
+
+// RunContext is Run with a deadline: when ctx expires or is cancelled
+// the execution aborts cleanly — every blocked device, link, and
+// rendezvous goroutine joins — and the error is a *RunError attributing
+// the stall to a device, instruction, and phase instead of hanging
+// forever. Pair it with RunOptions.Faults to bound injected link stalls.
+func RunContext(ctx context.Context, c *Computation, numDevices int, args [][]*Tensor, opts RunOptions) (*RunResult, error) {
+	return runtime.RunContext(ctx, c, numDevices, args, opts)
+}
+
+// ParseFaults parses a comma-separated fault-injection spec (e.g.
+// "drop:link:0-1,crash:dev:2:40") into a FaultPlan for
+// RunOptions.Faults. An empty spec returns a nil plan.
+func ParseFaults(spec string) (*FaultPlan, error) { return runtime.ParseFaults(spec) }
 
 // DefaultRunOptions returns runtime options that inject wire delays
 // from spec at a scale that makes overlap visible in wall-clock.
