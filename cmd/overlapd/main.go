@@ -1,0 +1,105 @@
+// Command overlapd runs the overlap pipeline as a long-running service:
+// an HTTP/JSON daemon that compiles programs into cacheable Plan
+// artifacts and executes them on the concurrent goroutine runtime. The
+// steady-state run path is a plan-cache lookup plus execution — zero
+// compilation — while cold requests batch through a coalescing
+// compiler so identical programs share one tune.
+//
+// Endpoints:
+//
+//	POST /v1/run      execute a model (or inline HLO program); returns
+//	                  the measured breakdown, overlap efficiency, and a
+//	                  result digest
+//	POST /v1/compile  return the compiled Plan artifact (same JSON as
+//	                  overlaptune -plan-out / overlaprun -plan-in)
+//	GET  /v1/plans    list cached plan fingerprints
+//	GET  /metrics     live Prometheus telemetry (overlap_serve_* et al)
+//	GET  /healthz     liveness
+//
+// Usage:
+//
+//	overlapd -addr :8080
+//	curl -s localhost:8080/v1/run -d '{"model":"GPT_32B","devices":4,"dim":4}'
+//	overlapd -addr :8080 -debug-faults   # allow fault-injection requests
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish, then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"overlap"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxBatch := flag.Int("max-batch", 8, "batcher flush size (requests)")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "batcher flush age: a partial batch waits at most this long")
+	inbox := flag.Int("inbox", 256, "bounded request inbox; beyond it requests get 503")
+	maxRuns := flag.Int("max-runs", 4, "admission limit: concurrent runtime executions sharing the kernel pool")
+	planCache := flag.Int("plan-cache", 64, "in-memory compiled-plan LRU capacity")
+	cachePath := flag.String("cache", "", "autotune decision cache file backing cold compiles (default: per-user cache dir)")
+	noCache := flag.Bool("no-cache", false, "skip the on-disk decision cache")
+	tuneTopK := flag.Int("topk", 2, "candidates executed for real per cold compile")
+	tuneScale := flag.Float64("tune-timescale", 50, "wire-delay scale during cold-compile tuning")
+	runScale := flag.Float64("run-timescale", 50, "wire-delay scale of served runs (negative disables injection)")
+	deadline := flag.Duration("default-deadline", 60*time.Second, "run deadline when the request carries none")
+	debugFaults := flag.Bool("debug-faults", false, "allow requests to inject deterministic faults (chaos testing)")
+	kernelWorkers := flag.Int("kernel-workers", 0, "intra-op einsum kernel parallelism (0 = GOMAXPROCS); keyed into every plan fingerprint")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	flag.Parse()
+
+	overlap.SetKernelWorkers(*kernelWorkers)
+
+	srv, err := overlap.NewServer(overlap.ServerConfig{
+		MaxBatch:          *maxBatch,
+		MaxWait:           *maxWait,
+		InboxSize:         *inbox,
+		MaxConcurrentRuns: *maxRuns,
+		PlanCacheSize:     *planCache,
+		CachePath:         *cachePath,
+		DisableDiskCache:  *noCache,
+		TuneTopK:          *tuneTopK,
+		TuneTimeScale:     *tuneScale,
+		RunTimeScale:      *runScale,
+		DefaultDeadline:   *deadline,
+		DebugFaults:       *debugFaults,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("overlapd: serving at http://%s (plans cached: %d, admission: %d, batch: %d/%s)\n",
+		bound, *planCache, *maxRuns, *maxBatch, *maxWait)
+	if *debugFaults {
+		fmt.Println("overlapd: debug-faults enabled — requests may inject deterministic failures")
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("overlapd: %s — draining in-flight requests\n", got)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fail(fmt.Errorf("shutdown: %w", err))
+	}
+	fmt.Println("overlapd: drained; bye")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "overlapd: %v\n", err)
+	os.Exit(1)
+}

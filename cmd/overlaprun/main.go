@@ -15,6 +15,7 @@
 //
 //	overlaprun -model GPT_32B -devices 4                # all three modes
 //	overlaprun -model GLaM_1T -devices 4 -mode overlap  # one mode
+//	overlaprun -plan-in plan.json                       # execute a compiled plan, zero compilation
 //	overlaprun -model GPT_32B -trace run.json           # Perfetto trace
 //	overlaprun -model GPT_32B -attrib                   # per-collective overlap attribution
 //	overlaprun -metrics-out run.prom                    # telemetry export (Prometheus text)
@@ -52,6 +53,7 @@ func main() {
 	faultSpec := flag.String("fault", "", "inject faults, comma-separated: crash:dev:D[:K], drop:link:S-D[:K], dup:link:S-D[:K], delay:link:S-D:DUR[:JITTER]")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for fault-injection jitter (deterministic per seed)")
 	deadline := flag.Duration("deadline", 0, "abort a run that exceeds this wall-clock with a structured error (0 = no deadline)")
+	planIn := flag.String("plan-in", "", "execute a compiled Plan artifact (from overlaptune -plan-out or the daemon's /v1/compile) instead of building a model; zero compilation")
 	flag.Parse()
 
 	overlap.SetKernelWorkers(*kernelWorkers)
@@ -73,26 +75,30 @@ func main() {
 		fmt.Printf("serving telemetry at http://%s/metrics\n", addr)
 	}
 
-	cfg, err := models.ByName(*model)
-	if err != nil {
-		fail(err)
-	}
-	mini, err := models.Miniature(cfg, *devices, *dim)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("%s miniature: %d devices, model dim %d, ff dim %d, %d tokens\n",
-		mini.Name, *devices, mini.ModelDim, mini.FFDim, mini.Tokens())
-
-	modes := []string{"baseline", "rolled", "overlap"}
-	if *mode != "all" {
-		modes = []string{*mode}
-	}
 	var runErr error
-	for _, m := range modes {
-		if err := runMode(mini, m, *devices, *timeScale, *traceFile, *check, *attrib, faults, *deadline); err != nil {
-			runErr = err
-			break
+	if *planIn != "" {
+		runErr = runPlan(*planIn, *timeScale, *traceFile, *check, *attrib, faults, *deadline)
+	} else {
+		cfg, err := models.ByName(*model)
+		if err != nil {
+			fail(err)
+		}
+		mini, err := models.Miniature(cfg, *devices, *dim)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s miniature: %d devices, model dim %d, ff dim %d, %d tokens\n",
+			mini.Name, *devices, mini.ModelDim, mini.FFDim, mini.Tokens())
+
+		modes := []string{"baseline", "rolled", "overlap"}
+		if *mode != "all" {
+			modes = []string{*mode}
+		}
+		for _, m := range modes {
+			if err := runMode(mini, m, *devices, *timeScale, *traceFile, *check, *attrib, faults, *deadline); err != nil {
+				runErr = err
+				break
+			}
 		}
 	}
 
@@ -111,6 +117,71 @@ func main() {
 		fmt.Println("runs done; serving /metrics until interrupted")
 		select {}
 	}
+}
+
+// runPlan loads a compiled Plan artifact and executes it directly: no
+// model build, no pipeline Apply, no tuning — the round-trip proof that
+// the serialized artifact is self-contained.
+func runPlan(path string, timeScale float64, traceFile string, check, attrib bool, faults *overlap.FaultPlan, deadline time.Duration) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	plan, err := overlap.DecodePlan(data)
+	if err != nil {
+		return err
+	}
+	c, err := plan.Computation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan %s: %d devices, winner %s (compiled %s)\n",
+		plan.Fingerprint, plan.Devices, plan.BestName, plan.Created)
+
+	args := randomArgs(c)
+	ropts := overlap.RunOptions{Spec: overlap.TPUv4(), TimeScale: timeScale, Faults: faults}
+	if traceFile != "" || attrib {
+		ropts.Trace = true
+	}
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	res, err := overlap.RunContext(ctx, c, plan.Devices, args, ropts)
+	if err != nil {
+		return err
+	}
+	if check {
+		want, err := overlap.Interpret(c, plan.Devices, args)
+		if err != nil {
+			return err
+		}
+		for d := range want {
+			if !res.Values[d].Equal(want[d]) {
+				return fmt.Errorf("plan: device %d diverges from the interpreter", d)
+			}
+		}
+	}
+	b := res.Breakdown
+	fmt.Printf("%-9s step %8.2fms  compute %8.2fms  wire %8.2fms  exposed %8.2fms  async %d  in-flight %d%s\n",
+		"plan", b.StepTime*1e3, b.Compute*1e3, b.CollectiveWire*1e3, b.Exposed*1e3,
+		b.AsyncTransfers, b.PeakInFlight, checkMark(check))
+	if attrib {
+		fmt.Print(overlap.Attribute(res.Trace).Render())
+	}
+	if traceFile != "" {
+		data, err := sim.TraceJSON(res.Trace)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(traceFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("          wrote %d trace events to %s\n", len(res.Trace), traceFile)
+	}
+	return nil
 }
 
 // runMode builds the miniature layer graph, applies the pipeline the

@@ -39,6 +39,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "export telemetry to this file (Prometheus text, or JSON with a .json suffix)")
 	serveAddr := flag.String("serve", "", "serve a live /metrics endpoint at this address and stay up after tuning")
 	kernelWorkers := flag.Int("kernel-workers", 0, "intra-op einsum kernel parallelism (0 = GOMAXPROCS); keyed into the decision cache")
+	planOut := flag.String("plan-out", "", "write the compiled Plan artifact (tuned, scheduled program as JSON) to this file; overlaprun -plan-in and the overlapd daemon execute the same artifact")
 	flag.Parse()
 
 	overlap.SetKernelWorkers(*kernelWorkers)
@@ -79,6 +80,21 @@ func main() {
 		fail(err)
 	}
 	report(res)
+
+	if *planOut != "" {
+		plan, err := overlap.PlanFromResult(c, *devices, res)
+		if err != nil {
+			fail(err)
+		}
+		data, err := plan.EncodeJSON()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*planOut, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote compiled plan to %s (fingerprint %s)\n", *planOut, plan.Fingerprint)
+	}
 
 	if *metricsOut != "" {
 		if err := overlap.Metrics().WriteFile(*metricsOut); err != nil {

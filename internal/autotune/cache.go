@@ -12,13 +12,16 @@ import (
 	"overlap/internal/core"
 	"overlap/internal/hlo"
 	"overlap/internal/machine"
+	"overlap/internal/obs"
 	"overlap/internal/tensor"
 )
 
 // cacheVersion invalidates every stored decision when the entry layout
 // or the meaning of a knob changes. Version 2: keys gained the kernel
-// worker count, which changes measured runtimes.
-const cacheVersion = 2
+// worker count, which changes measured runtimes. Version 3: keys gained
+// the telemetry-instrumentation toggle (recording overhead shifts
+// measured spans) and entries encode knobs via core.Knobs.
+const cacheVersion = 3
 
 // DefaultCachePath returns where decisions persist when Options does
 // not say otherwise: <user cache dir>/overlap/autotune.json, falling
@@ -38,72 +41,35 @@ func cachePath(opts Options) string {
 	return DefaultCachePath()
 }
 
-// cacheKey is the decision identity: program shape, machine spec, ring
-// size, and the einsum-kernel worker count (intra-op parallelism shifts
-// measured compute spans, which shifts which overlap plan wins).
-// Anything else (TopK, repeats, wire scale) only affects how hard the
-// search looks, not what it is searching for.
-func cacheKey(c *hlo.Computation, spec machine.Spec, numDevices int) string {
+// Key is the decision identity a (program, machine, environment) tuple
+// tunes and caches under: program shape, machine spec, ring size, the
+// einsum-kernel worker count (intra-op parallelism shifts measured
+// compute spans, which shifts which overlap plan wins), and whether
+// telemetry instrumentation is recording (its bounded overhead still
+// moves measured spans). Anything else (TopK, repeats, wire scale) only
+// affects how hard the search looks, not what it is searching for.
+// Every plan- or decision-cache layer must key with this one function
+// so a SetKernelWorkers or obs.SetEnabled change can never serve a
+// stale decision.
+func Key(c *hlo.Computation, spec machine.Spec, numDevices int) string {
 	specFP := fmt.Sprintf("%x", sha256.Sum256([]byte(spec.Fingerprint())))[:16]
-	return fmt.Sprintf("%s|%s|n=%d|kw=%d", ProgramFingerprint(c), specFP, numDevices, tensor.KernelWorkers())
+	instr := 0
+	if obs.Default().Enabled() {
+		instr = 1
+	}
+	return fmt.Sprintf("%s|%s|n=%d|kw=%d|obs=%d",
+		ProgramFingerprint(c), specFP, numDevices, tensor.KernelWorkers(), instr)
 }
 
-// knobs is the on-disk encoding of a winning core.Options — only the
-// rewrite-changing booleans and the scheduler; the spec is part of the
-// cache key, not the entry.
-type knobs struct {
-	Scheduler             string `json:"scheduler"`
-	Unroll                bool   `json:"unroll,omitempty"`
-	Bidirectional         bool   `json:"bidirectional,omitempty"`
-	Rolled                bool   `json:"rolled,omitempty"`
-	FuseAddIntoEinsum     bool   `json:"fuse_add_into_einsum,omitempty"`
-	OverlapFriendlyFusion bool   `json:"overlap_friendly_fusion,omitempty"`
-	RematerializeGathers  bool   `json:"rematerialize_gathers,omitempty"`
-	SplitAllReduce        bool   `json:"split_all_reduce,omitempty"`
-	ConcatToPadMax        bool   `json:"concat_to_pad_max,omitempty"`
-}
-
-func encodeKnobs(o core.Options) knobs {
-	return knobs{
-		Scheduler:             o.Scheduler.String(),
-		Unroll:                o.Unroll,
-		Bidirectional:         o.Bidirectional,
-		Rolled:                o.Rolled,
-		FuseAddIntoEinsum:     o.FuseAddIntoEinsum,
-		OverlapFriendlyFusion: o.OverlapFriendlyFusion,
-		RematerializeGathers:  o.RematerializeGathers,
-		SplitAllReduce:        o.SplitAllReduce,
-		ConcatToPadMax:        o.ConcatToPadMax,
-	}
-}
-
-func (k knobs) decode(spec machine.Spec) core.Options {
-	sched := core.SchedulerNone
-	switch k.Scheduler {
-	case core.SchedulerBottomUp.String():
-		sched = core.SchedulerBottomUp
-	case core.SchedulerTopDown.String():
-		sched = core.SchedulerTopDown
-	}
-	return core.Options{
-		Spec:                  spec,
-		Scheduler:             sched,
-		Unroll:                k.Unroll,
-		Bidirectional:         k.Bidirectional,
-		Rolled:                k.Rolled,
-		FuseAddIntoEinsum:     k.FuseAddIntoEinsum,
-		OverlapFriendlyFusion: k.OverlapFriendlyFusion,
-		RematerializeGathers:  k.RematerializeGathers,
-		SplitAllReduce:        k.SplitAllReduce,
-		ConcatToPadMax:        k.ConcatToPadMax,
-	}
+func cacheKey(c *hlo.Computation, spec machine.Spec, numDevices int) string {
+	return Key(c, spec, numDevices)
 }
 
 // cacheEntry is one persisted decision.
 type cacheEntry struct {
 	BestName       string              `json:"best_name"`
 	Baseline       bool                `json:"baseline,omitempty"`
-	Options        knobs               `json:"options"`
+	Options        core.Knobs          `json:"options"`
 	PredictedSec   float64             `json:"predicted_sec"`
 	MeasuredSec    float64             `json:"measured_sec"`
 	Calibration    machine.Calibration `json:"calibration"`
@@ -121,7 +87,7 @@ func (e cacheEntry) fill(res *Result, spec machine.Spec) {
 	res.CacheHit = true
 	res.BestName = e.BestName
 	res.BestIsBaseline = e.Baseline
-	res.Best = e.Options.decode(spec)
+	res.Best = e.Options.Options(spec)
 	res.PredictedWall = e.PredictedSec
 	res.MeasuredWall = e.MeasuredSec
 	res.Residual = e.Residual
@@ -172,7 +138,7 @@ func cacheStore(path, key string, res *Result) error {
 	f.Entries[key] = cacheEntry{
 		BestName:       res.BestName,
 		Baseline:       res.BestIsBaseline,
-		Options:        encodeKnobs(res.Best),
+		Options:        res.Best.Knobs(),
 		PredictedSec:   res.PredictedWall,
 		MeasuredSec:    res.MeasuredWall,
 		Calibration:    res.Calibration,

@@ -1,0 +1,234 @@
+package autotune_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"overlap/internal/autotune"
+	"overlap/internal/core"
+	"overlap/internal/machine"
+	"overlap/internal/obs"
+	"overlap/internal/runtime"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+var updatePlanGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestPlanGoldenJSON pins the serialized Plan schema — field names,
+// order, and the version field — so the artifact the daemon serves, the
+// CLIs round-trip, and a future reader decodes can never drift
+// silently. Run with -update to accept intentional schema changes
+// (which must also bump PlanVersion).
+func TestPlanGoldenJSON(t *testing.T) {
+	c, _ := site(2, 1)
+	spec := machine.TPUv4()
+	opts := core4DefaultKnobs()
+	p := &autotune.Plan{
+		Version:      autotune.PlanVersion,
+		Fingerprint:  "fixedprog|fixedspec|n=2|kw=1|obs=1",
+		Devices:      2,
+		SpecName:     spec.Name,
+		BestName:     "golden",
+		Knobs:        opts,
+		Program:      c.Format(),
+		PredictedSec: 0.001,
+		MeasuredSec:  0.002,
+		Calibration:  machine.Identity(),
+		// Created deliberately empty: golden fixtures are timeless.
+	}
+	got, err := p.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "plan.golden")
+	if *updatePlanGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != string(got) {
+		t.Fatalf("Plan JSON schema changed; bump PlanVersion and run with -update if intended.\n--- got ---\n%s", got)
+	}
+	if !strings.Contains(string(got), `"version": 1`) {
+		t.Fatal("serialized plan does not carry the version field")
+	}
+
+	back, err := autotune.DecodePlan(got)
+	if err != nil {
+		t.Fatalf("golden plan does not decode: %v", err)
+	}
+	if back.Fingerprint != p.Fingerprint || back.Program != p.Program {
+		t.Fatal("golden plan did not round-trip")
+	}
+}
+
+// TestPlanCompileExecutes compiles a plan end to end and proves the
+// artifact is self-contained: decode from JSON, parse the embedded
+// program, execute it on the runtime, and match the lockstep
+// interpreter bit for bit.
+func TestPlanCompileExecutes(t *testing.T) {
+	c, args := site(4, 7)
+	opts := tuneOpts(t)
+	plan, err := autotune.Compile(c, 4, args, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Version != autotune.PlanVersion {
+		t.Fatalf("compiled plan version %d, want %d", plan.Version, autotune.PlanVersion)
+	}
+	if plan.Fingerprint == "" || plan.Program == "" {
+		t.Fatal("compiled plan is missing its fingerprint or program")
+	}
+
+	data, err := plan.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := autotune.DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := back.Computation()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := sim.Interpret(exec, 4, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.Run(exec, 4, args, runtime.Options{Spec: opts.Spec, TimeScale: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range want {
+		if !res.Values[d].Equal(want[d]) {
+			t.Fatalf("device %d: decoded plan diverges from the interpreter", d)
+		}
+	}
+}
+
+// TestDecodePlanRejects pins the failure modes: wrong version, torn
+// JSON, and an embedded program that no longer parses must all error.
+func TestDecodePlanRejects(t *testing.T) {
+	c, args := site(2, 3)
+	plan, err := autotune.Compile(c, 2, args, tuneOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := plan.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := autotune.DecodePlan(good[:len(good)/2]); err == nil {
+		t.Fatal("truncated plan decoded")
+	}
+	if _, err := autotune.DecodePlan([]byte(strings.Replace(string(good),
+		`"version": 1`, `"version": 99`, 1))); err == nil {
+		t.Fatal("version-mismatched plan decoded")
+	}
+	corrupt := *plan
+	corrupt.Program = "this is not an hlo computation"
+	bad, err := corrupt.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := autotune.DecodePlan(bad); err == nil {
+		t.Fatal("plan with a corrupt program decoded")
+	}
+}
+
+// TestKeyTracksEnvironment pins that the decision/plan cache key moves
+// with every input that moves measured runtimes: the program, the
+// device count, the kernel-worker count, and the telemetry toggle. A
+// key that failed to move across SetKernelWorkers served PR 4's tuning
+// decisions stale; this is its regression test, extended to the obs
+// toggle the serving layer flips.
+func TestKeyTracksEnvironment(t *testing.T) {
+	c, _ := site(4, 1)
+	spec := machine.TPUv4()
+
+	tensor.SetKernelWorkers(1)
+	defer tensor.SetKernelWorkers(0)
+	base := autotune.Key(c, spec, 4)
+
+	if got := autotune.Key(c, spec, 8); got == base {
+		t.Fatal("key ignored the device count")
+	}
+	tensor.SetKernelWorkers(2)
+	if got := autotune.Key(c, spec, 4); got == base {
+		t.Fatal("key ignored SetKernelWorkers — a tuned decision would be served stale")
+	}
+	tensor.SetKernelWorkers(1)
+
+	obs.Default().SetEnabled(false)
+	key := autotune.Key(c, spec, 4)
+	obs.Default().SetEnabled(true)
+	if key == base {
+		t.Fatal("key ignored the obs instrumentation toggle")
+	}
+	if got := autotune.Key(c, spec, 4); got != base {
+		t.Fatal("key is not a pure function of (program, spec, devices, kw, obs)")
+	}
+}
+
+// TestTuneNoStaleHitAcrossKernelWorkers is the behavioral half of the
+// keying regression: a decision cached under one kernel-worker count
+// must not answer a tune performed under another.
+func TestTuneNoStaleHitAcrossKernelWorkers(t *testing.T) {
+	c, args := site(2, 5)
+	opts := tuneOpts(t)
+
+	tensor.SetKernelWorkers(1)
+	defer tensor.SetKernelWorkers(0)
+	first, err := autotune.Tune(c, 2, args, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first tune hit an empty cache")
+	}
+
+	tensor.SetKernelWorkers(2)
+	second, err := autotune.Tune(c, 2, args, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHit {
+		t.Fatal("stale hit: decision cached under kw=1 answered a kw=2 tune")
+	}
+	if first.Fingerprint == second.Fingerprint {
+		t.Fatal("fingerprints identical across SetKernelWorkers")
+	}
+
+	// Same environment again: now the cache must answer.
+	third, err := autotune.Tune(c, 2, args, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.CacheHit {
+		t.Fatal("repeat tune in an unchanged environment missed the cache")
+	}
+}
+
+// core4DefaultKnobs is the paper's default configuration as knobs, with
+// a stable literal so the golden file does not depend on DefaultOptions
+// drift.
+func core4DefaultKnobs() (k core.Knobs) {
+	k.Scheduler = "bottom-up"
+	k.Unroll = true
+	k.Bidirectional = true
+	k.FuseAddIntoEinsum = true
+	k.OverlapFriendlyFusion = true
+	return k
+}

@@ -128,6 +128,65 @@ func mustValidSpec(spec machine.Spec) {
 	}
 }
 
+// Knobs is the serializable identity of an Options value: only the
+// rewrite-changing booleans and the scheduler, with JSON tags pinned by
+// golden tests. The machine spec is deliberately excluded — persisted
+// artifacts key on the spec fingerprint and re-attach a live Spec on
+// decode — so one encoding serves the autotune decision cache, the
+// compiled Plan artifact, and the serving daemon.
+type Knobs struct {
+	Scheduler             string `json:"scheduler"`
+	Unroll                bool   `json:"unroll,omitempty"`
+	Bidirectional         bool   `json:"bidirectional,omitempty"`
+	Rolled                bool   `json:"rolled,omitempty"`
+	FuseAddIntoEinsum     bool   `json:"fuse_add_into_einsum,omitempty"`
+	OverlapFriendlyFusion bool   `json:"overlap_friendly_fusion,omitempty"`
+	RematerializeGathers  bool   `json:"rematerialize_gathers,omitempty"`
+	SplitAllReduce        bool   `json:"split_all_reduce,omitempty"`
+	ConcatToPadMax        bool   `json:"concat_to_pad_max,omitempty"`
+}
+
+// Knobs strips o down to its serializable rewrite knobs.
+func (o Options) Knobs() Knobs {
+	return Knobs{
+		Scheduler:             o.Scheduler.String(),
+		Unroll:                o.Unroll,
+		Bidirectional:         o.Bidirectional,
+		Rolled:                o.Rolled,
+		FuseAddIntoEinsum:     o.FuseAddIntoEinsum,
+		OverlapFriendlyFusion: o.OverlapFriendlyFusion,
+		RematerializeGathers:  o.RematerializeGathers,
+		SplitAllReduce:        o.SplitAllReduce,
+		ConcatToPadMax:        o.ConcatToPadMax,
+	}
+}
+
+// Options reconstitutes a full pipeline configuration from the knobs by
+// re-attaching a live machine spec. An unknown scheduler name degrades
+// to SchedulerNone (the conservative choice for artifacts written by a
+// future version).
+func (k Knobs) Options(spec machine.Spec) Options {
+	sched := SchedulerNone
+	switch k.Scheduler {
+	case SchedulerBottomUp.String():
+		sched = SchedulerBottomUp
+	case SchedulerTopDown.String():
+		sched = SchedulerTopDown
+	}
+	return Options{
+		Spec:                  spec,
+		Scheduler:             sched,
+		Unroll:                k.Unroll,
+		Bidirectional:         k.Bidirectional,
+		Rolled:                k.Rolled,
+		FuseAddIntoEinsum:     k.FuseAddIntoEinsum,
+		OverlapFriendlyFusion: k.OverlapFriendlyFusion,
+		RematerializeGathers:  k.RematerializeGathers,
+		SplitAllReduce:        k.SplitAllReduce,
+		ConcatToPadMax:        k.ConcatToPadMax,
+	}
+}
+
 // Report summarizes what the pipeline did to a computation.
 type Report struct {
 	// SitesFound counts matched collective/einsum pairs.

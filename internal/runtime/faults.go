@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -61,6 +62,25 @@ func (e *RunError) Error() string {
 }
 
 func (e *RunError) Unwrap() error { return e.Err }
+
+// MarshalJSON renders the structured failure for machine consumers —
+// the serving daemon's 5xx bodies and the exported chaos artifacts —
+// keeping every attribution field (device, instruction, phase, injected
+// fault) individually addressable instead of smeared into one string.
+func (e *RunError) MarshalJSON() ([]byte, error) {
+	cause := ""
+	if e.Err != nil {
+		cause = e.Err.Error()
+	}
+	return json.Marshal(struct {
+		Device    int     `json:"device"`
+		Instr     string  `json:"instruction,omitempty"`
+		Phase     Phase   `json:"phase,omitempty"`
+		ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+		Fault     string  `json:"fault,omitempty"`
+		Cause     string  `json:"cause"`
+	}{e.Device, e.Instr, e.Phase, float64(e.Elapsed) / float64(time.Millisecond), e.Fault, cause})
+}
 
 // Sentinel causes for injected faults, exposed so tests can assert on
 // the failure class independent of message wording.

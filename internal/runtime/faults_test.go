@@ -2,6 +2,7 @@ package runtime_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math/rand"
 	"testing"
@@ -225,5 +226,37 @@ func TestDelayFaultPreservesResults(t *testing.T) {
 		if !delayed.Values[d].Equal(clean.Values[d]) {
 			t.Fatalf("device %d: delay fault changed the answer", d)
 		}
+	}
+}
+
+// TestRunErrorMarshalJSON pins the machine-readable failure shape the
+// serving daemon returns on a 5xx: device, instruction, phase, and the
+// injected fault must each be individually addressable fields.
+func TestRunErrorMarshalJSON(t *testing.T) {
+	re := &runtime.RunError{
+		Device:  2,
+		Instr:   "%collective-permute-start.7",
+		Phase:   runtime.PhaseReceive,
+		Elapsed: 1500 * time.Microsecond,
+		Fault:   "drop:link:0-1:0",
+		Err:     context.DeadlineExceeded,
+	}
+	data, err := json.Marshal(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("RunError JSON does not parse: %v\n%s", err, data)
+	}
+	if got["device"] != float64(2) || got["phase"] != "receive" ||
+		got["fault"] != "drop:link:0-1:0" || got["instruction"] != "%collective-permute-start.7" {
+		t.Fatalf("RunError JSON lost attribution fields: %s", data)
+	}
+	if got["elapsed_ms"] != 1.5 {
+		t.Fatalf("elapsed_ms = %v, want 1.5", got["elapsed_ms"])
+	}
+	if got["cause"] != context.DeadlineExceeded.Error() {
+		t.Fatalf("cause = %v", got["cause"])
 	}
 }

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// errOverloaded is returned when the bounded inbox is full; the HTTP
+// layer maps it to 503 so callers back off instead of queueing without
+// bound.
+var errOverloaded = errors.New("serve: batcher inbox full")
+
+// buildFunc compiles the plan for one fingerprint. The batcher
+// guarantees at most one concurrent call per fingerprint and joins
+// every waiter onto it — N simultaneous callers with identical
+// fingerprints share one compile.
+type buildFunc func() (*cachedPlan, error)
+
+// planOutcome is what one plan acquisition learned: the plan, where it
+// came from, and the timing breakdown the response reports.
+type planOutcome struct {
+	plan *cachedPlan
+	// source is "hit" (plan cache), "miss" (this request triggered the
+	// compile), or "coalesced" (joined a compile another request
+	// triggered).
+	source string
+	// batchSize is how many requests the flush that picked this job up
+	// carried.
+	batchSize int
+	// queueWait is enqueue→flush; planWait is flush→plan availability
+	// (≈0 on hits).
+	queueWait, planWait time.Duration
+}
+
+type planResult struct {
+	outcome planOutcome
+	err     error
+}
+
+// job is one request waiting for a plan: the fingerprint it needs, how
+// to build it on a miss, and the response channel the batcher answers
+// on (buffered, so an abandoned waiter never blocks delivery).
+type job struct {
+	key      string
+	build    buildFunc
+	resp     chan planResult
+	enqueued time.Time
+	source   string
+	batch    int
+}
+
+// flight is one in-progress compile and everyone waiting on it.
+type flight struct {
+	waiters []*job
+	started time.Time
+}
+
+type flightResult struct {
+	key string
+	val *cachedPlan
+	err error
+}
+
+// batcher coalesces plan acquisitions: requests land in a bounded
+// inbox, a single goroutine collects them into batches (flushing at
+// maxBatch requests or maxWait after the first), groups each batch by
+// fingerprint, answers hits from the plan cache, and launches exactly
+// one compile per missing fingerprint — with requests in later batches
+// joining compiles still in flight rather than starting their own. All
+// coalescing state (the inflight map) is owned by the loop goroutine;
+// workers communicate results back over the done channel.
+type batcher struct {
+	cache    *planCache
+	inbox    chan *job
+	done     chan *flightResult
+	maxBatch int
+	maxWait  time.Duration
+	closed   chan struct{}
+}
+
+func newBatcher(cache *planCache, inboxSize, maxBatch int, maxWait time.Duration) *batcher {
+	if inboxSize < 1 {
+		inboxSize = 1
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxWait <= 0 {
+		maxWait = time.Millisecond
+	}
+	b := &batcher{
+		cache:    cache,
+		inbox:    make(chan *job, inboxSize),
+		done:     make(chan *flightResult),
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		closed:   make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// submit enqueues a plan acquisition and blocks until the batcher
+// answers or ctx expires. A full inbox fails fast with errOverloaded.
+// An expired waiter abandons its (buffered) response channel; the
+// batcher's eventual delivery is dropped on the floor, never blocked.
+func (b *batcher) submit(ctx context.Context, key string, build buildFunc) (planOutcome, error) {
+	j := &job{key: key, build: build, resp: make(chan planResult, 1), enqueued: time.Now()}
+	select {
+	case b.inbox <- j:
+		svQueueDepth.Set(float64(len(b.inbox)))
+	default:
+		svOverload.Inc()
+		return planOutcome{}, errOverloaded
+	}
+	select {
+	case r := <-j.resp:
+		return r.outcome, r.err
+	case <-ctx.Done():
+		return planOutcome{}, ctx.Err()
+	}
+}
+
+// close stops the batcher after the caller has stopped submitting (the
+// server closes it only once the HTTP layer has fully drained): the
+// loop finishes every in-flight compile, answers every waiter, and
+// exits.
+func (b *batcher) close() {
+	close(b.inbox)
+	<-b.closed
+}
+
+func (b *batcher) loop() {
+	defer close(b.closed)
+	inflight := map[string]*flight{}
+	for {
+		select {
+		case j, ok := <-b.inbox:
+			if !ok {
+				for len(inflight) > 0 {
+					b.finish(<-b.done, inflight)
+				}
+				return
+			}
+			b.flush(b.collect(j, inflight), inflight)
+		case d := <-b.done:
+			b.finish(d, inflight)
+		}
+	}
+}
+
+// collect gathers one batch: the triggering job plus whatever arrives
+// until the batch is full or maxWait elapses. Compile completions keep
+// being serviced while collecting — a flush must never deadlock against
+// its own workers.
+func (b *batcher) collect(first *job, inflight map[string]*flight) []*job {
+	batch := []*job{first}
+	timer := time.NewTimer(b.maxWait)
+	defer timer.Stop()
+	for len(batch) < b.maxBatch {
+		select {
+		case j, ok := <-b.inbox:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, j)
+		case d := <-b.done:
+			b.finish(d, inflight)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush groups the batch by fingerprint and resolves each group: join
+// an in-flight compile, answer from the plan cache, or launch the one
+// compile the whole group shares.
+func (b *batcher) flush(batch []*job, inflight map[string]*flight) {
+	now := time.Now()
+	svBatchSize.Observe(float64(len(batch)))
+	svQueueDepth.Set(float64(len(b.inbox)))
+	groups := map[string][]*job{}
+	for _, j := range batch {
+		svQueueSeconds.Observe(now.Sub(j.enqueued).Seconds())
+		j.batch = len(batch)
+		groups[j.key] = append(groups[j.key], j)
+	}
+	for key, jobs := range groups {
+		if f, ok := inflight[key]; ok {
+			for _, j := range jobs {
+				j.source = "coalesced"
+			}
+			svPlanCoalesced.Add(float64(len(jobs)))
+			f.waiters = append(f.waiters, jobs...)
+			continue
+		}
+		if cp, ok := b.cache.get(key); ok {
+			svPlanHits.Add(float64(len(jobs)))
+			for _, j := range jobs {
+				j.source = "hit"
+				b.answer(j, cp, nil, now)
+			}
+			continue
+		}
+		// Miss: the first waiter's build runs once for the whole group;
+		// everyone else coalesces onto it.
+		svPlanMisses.Inc()
+		svCompiles.Inc()
+		jobs[0].source = "miss"
+		for _, j := range jobs[1:] {
+			j.source = "coalesced"
+		}
+		if n := len(jobs) - 1; n > 0 {
+			svPlanCoalesced.Add(float64(n))
+		}
+		inflight[key] = &flight{waiters: jobs, started: now}
+		build := jobs[0].build
+		go func(key string) {
+			cp, err := build()
+			b.done <- &flightResult{key: key, val: cp, err: err}
+		}(key)
+	}
+}
+
+// finish lands one compile: store the plan (failures store nothing —
+// the next request retries rather than caching poison), answer every
+// waiter, and clear the in-flight slot.
+func (b *batcher) finish(d *flightResult, inflight map[string]*flight) {
+	f := inflight[d.key]
+	delete(inflight, d.key)
+	if f == nil {
+		return
+	}
+	if d.err == nil {
+		b.cache.put(d.key, d.val)
+	}
+	for _, j := range f.waiters {
+		b.answer(j, d.val, d.err, f.started)
+	}
+}
+
+// answer delivers one job's result; the buffered response channel makes
+// this non-blocking even when the waiter gave up.
+func (b *batcher) answer(j *job, cp *cachedPlan, err error, flushed time.Time) {
+	planWait := time.Since(flushed)
+	svPlanSeconds.Observe(planWait.Seconds())
+	// A job that joined an already-running flight enqueued *after* the
+	// flight began; clamp so reported waits never go negative.
+	queueWait := flushed.Sub(j.enqueued)
+	if queueWait < 0 {
+		queueWait = 0
+	}
+	j.resp <- planResult{
+		outcome: planOutcome{
+			plan:      cp,
+			source:    j.source,
+			batchSize: j.batch,
+			queueWait: queueWait,
+			planWait:  planWait,
+		},
+		err: err,
+	}
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"overlap/internal/autotune"
+)
+
+func dummyPlan(name string) *cachedPlan {
+	return &cachedPlan{plan: &autotune.Plan{BestName: name}}
+}
+
+// TestBatcherCoalescesIdenticalKeys: N concurrent submits with one
+// fingerprint share a single build; exactly one caller is the miss.
+func TestBatcherCoalescesIdenticalKeys(t *testing.T) {
+	b := newBatcher(newPlanCache(4), 64, 8, 2*time.Millisecond)
+	defer b.close()
+
+	var builds atomic.Int64
+	build := func() (*cachedPlan, error) {
+		builds.Add(1)
+		time.Sleep(20 * time.Millisecond) // long enough for every waiter to pile on
+		return dummyPlan("shared"), nil
+	}
+
+	const n = 6
+	var wg sync.WaitGroup
+	outcomes := make([]planOutcome, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i], errs[i] = b.submit(context.Background(), "fp", build)
+		}(i)
+	}
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d identical submits ran %d builds, want 1", n, got)
+	}
+	sources := map[string]int{}
+	for i := range outcomes {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		if outcomes[i].plan.plan.BestName != "shared" {
+			t.Fatalf("submit %d got the wrong plan", i)
+		}
+		sources[outcomes[i].source]++
+	}
+	if sources["miss"] != 1 || sources["miss"]+sources["coalesced"] != n {
+		t.Fatalf("sources = %v, want one miss and %d coalesced", sources, n-1)
+	}
+}
+
+// TestBatcherFlushesOnMaxBatch: a full batch flushes immediately, far
+// before maxWait.
+func TestBatcherFlushesOnMaxBatch(t *testing.T) {
+	b := newBatcher(newPlanCache(4), 64, 2, time.Minute)
+	defer b.close()
+	build := func() (*cachedPlan, error) { return dummyPlan("x"), nil }
+
+	done := make(chan planOutcome, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			out, err := b.submit(context.Background(), "fp", build)
+			if err != nil {
+				t.Error(err)
+			}
+			done <- out
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case out := <-done:
+			if out.batchSize != 2 {
+				t.Errorf("batchSize = %d, want 2", out.batchSize)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("submit did not return: batch never flushed before maxWait")
+		}
+	}
+}
+
+// TestBatcherFlushesOnMaxWait: a lone request flushes after maxWait
+// even though the batch never fills.
+func TestBatcherFlushesOnMaxWait(t *testing.T) {
+	b := newBatcher(newPlanCache(4), 64, 8, 5*time.Millisecond)
+	defer b.close()
+	out, err := b.submit(context.Background(), "fp",
+		func() (*cachedPlan, error) { return dummyPlan("x"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.batchSize != 1 || out.source != "miss" {
+		t.Fatalf("outcome = {batch %d, source %q}, want lone miss", out.batchSize, out.source)
+	}
+}
+
+// TestBatcherAnswersFromCache: a cached fingerprint is a hit and never
+// calls build.
+func TestBatcherAnswersFromCache(t *testing.T) {
+	cache := newPlanCache(4)
+	cache.put("fp", dummyPlan("cached"))
+	b := newBatcher(cache, 64, 8, time.Millisecond)
+	defer b.close()
+
+	out, err := b.submit(context.Background(), "fp",
+		func() (*cachedPlan, error) { t.Error("build called on a hit"); return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.source != "hit" || out.plan.plan.BestName != "cached" {
+		t.Fatalf("outcome = {source %q, plan %q}, want cached hit", out.source, out.plan.plan.BestName)
+	}
+}
+
+// TestBatcherFailedBuildNotCached: a failed compile propagates its error
+// and stores nothing — the next submit retries instead of serving
+// poison.
+func TestBatcherFailedBuildNotCached(t *testing.T) {
+	cache := newPlanCache(4)
+	b := newBatcher(cache, 64, 8, time.Millisecond)
+	defer b.close()
+
+	var builds atomic.Int64
+	failOnce := func() (*cachedPlan, error) {
+		if builds.Add(1) == 1 {
+			return nil, context.DeadlineExceeded
+		}
+		return dummyPlan("recovered"), nil
+	}
+
+	if _, err := b.submit(context.Background(), "fp", failOnce); err == nil {
+		t.Fatal("failed build did not propagate its error")
+	}
+	if cache.len() != 0 {
+		t.Fatalf("failed build was cached (len %d)", cache.len())
+	}
+	out, err := b.submit(context.Background(), "fp", failOnce)
+	if err != nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+	if out.source != "miss" || out.plan.plan.BestName != "recovered" {
+		t.Fatalf("retry outcome = {source %q}, want a fresh miss", out.source)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("builds = %d, want 2 (fail, then retry)", builds.Load())
+	}
+}
+
+// TestBatcherOverload: with no loop draining the inbox, a full inbox
+// fails fast with errOverloaded instead of queueing without bound. The
+// batcher literal deliberately never starts loop().
+func TestBatcherOverload(t *testing.T) {
+	b := &batcher{
+		cache:    newPlanCache(1),
+		inbox:    make(chan *job, 1),
+		done:     make(chan *flightResult),
+		maxBatch: 1,
+		maxWait:  time.Millisecond,
+		closed:   make(chan struct{}),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the first submit parks its job and returns on ctx
+	build := func() (*cachedPlan, error) { return dummyPlan("x"), nil }
+	if _, err := b.submit(ctx, "fp", build); err != context.Canceled {
+		t.Fatalf("first submit err = %v, want context.Canceled", err)
+	}
+	if _, err := b.submit(context.Background(), "fp2", build); err != errOverloaded {
+		t.Fatalf("second submit err = %v, want errOverloaded", err)
+	}
+}
+
+// TestBatcherCloseDrainsInflight: close() waits for running compiles
+// and answers their waiters before returning.
+func TestBatcherCloseDrainsInflight(t *testing.T) {
+	b := newBatcher(newPlanCache(4), 64, 8, time.Millisecond)
+	started := make(chan struct{})
+	build := func() (*cachedPlan, error) {
+		close(started)
+		time.Sleep(20 * time.Millisecond)
+		return dummyPlan("drained"), nil
+	}
+
+	result := make(chan planResult, 1)
+	go func() {
+		out, err := b.submit(context.Background(), "fp", build)
+		result <- planResult{outcome: out, err: err}
+	}()
+	<-started
+	b.close() // must block until the compile lands and the waiter is answered
+
+	select {
+	case r := <-result:
+		if r.err != nil || r.outcome.plan.plan.BestName != "drained" {
+			t.Fatalf("drained submit = {%v, %v}", r.outcome, r.err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close returned but the waiter was never answered")
+	}
+}

@@ -1,0 +1,44 @@
+package serve
+
+import "overlap/internal/obs"
+
+// Serving-side instrumentation handles, resolved once against the
+// process-wide registry. The overlap_serve_* family answers the
+// operational questions a long-running daemon gets asked: how deep is
+// the queue, how well do requests coalesce, how often does the hot path
+// skip compilation, how long do runs wait for an admission slot, and
+// where each request's latency went.
+var (
+	svRequests = obs.Default().Counter("overlap_serve_requests_total",
+		"Requests accepted by the daemon (all endpoints that reach a handler).")
+	svErrors = obs.Default().Counter("overlap_serve_errors_total",
+		"Requests that ended in an error response (4xx or 5xx).")
+	svRunErrors = obs.Default().Counter("overlap_serve_run_errors_total",
+		"Served runs that failed with a structured runtime error (5xx, daemon stays up).")
+	svOverload = obs.Default().Counter("overlap_serve_overload_total",
+		"Requests rejected because the batcher inbox was full (503).")
+	svQueueDepth = obs.Default().Gauge("overlap_serve_queue_depth",
+		"Requests currently waiting in the batcher inbox.")
+	svBatchSize = obs.Default().Histogram("overlap_serve_batch_size",
+		"Requests per batcher flush.", obs.ExpBuckets(1, 2, 7))
+	svPlanHits = obs.Default().Counter("overlap_serve_plan_cache_hits_total",
+		"Plan acquisitions answered by the in-memory plan cache (zero compilation).")
+	svPlanMisses = obs.Default().Counter("overlap_serve_plan_cache_misses_total",
+		"Plan acquisitions that had to compile (tune cache may still spare executions).")
+	svPlanCoalesced = obs.Default().Counter("overlap_serve_plan_coalesced_total",
+		"Plan acquisitions that joined a compile already in flight for the same fingerprint.")
+	svPlanEvictions = obs.Default().Counter("overlap_serve_plan_cache_evictions_total",
+		"Plans evicted from the in-memory LRU.")
+	svCompiles = obs.Default().Counter("overlap_serve_compiles_total",
+		"Plan compilations performed (tune + apply); the warm path keeps this flat.")
+	svInflight = obs.Default().Gauge("overlap_serve_inflight_runs",
+		"Runs currently holding an admission slot.")
+	svAdmissionWait = obs.Default().Histogram("overlap_serve_admission_wait_seconds",
+		"Time served runs waited for an admission slot.", obs.TimeBuckets())
+	svQueueSeconds = obs.Default().Histogram("overlap_serve_queue_seconds",
+		"Time requests spent in the batcher inbox before their flush.", obs.TimeBuckets())
+	svPlanSeconds = obs.Default().Histogram("overlap_serve_plan_seconds",
+		"Time from flush to plan availability (zero-ish on cache hits).", obs.TimeBuckets())
+	svRunSeconds = obs.Default().Histogram("overlap_serve_run_seconds",
+		"Wall-clock of the runtime execution phase of served runs.", obs.TimeBuckets())
+)

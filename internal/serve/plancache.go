@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"overlap/internal/autotune"
+	"overlap/internal/hlo"
+)
+
+// cachedPlan is a compiled plan held hot: the immutable artifact plus
+// its parsed computation. The computation is executed concurrently by
+// every request that shares the plan — the runtime treats the graph as
+// read-only (the 16-client soak pins this under -race) — so the serve
+// hot path is one map lookup and zero parsing, zero compilation.
+type cachedPlan struct {
+	plan *autotune.Plan
+	comp *hlo.Computation
+}
+
+// planCache is a fixed-capacity LRU of compiled plans keyed by the
+// autotune fingerprint. It is the in-memory tier above the on-disk
+// decision cache: the disk cache spares tuning *executions*, this cache
+// spares the whole compile (tune + apply + parse). A run failure never
+// evicts anything — plans are pure functions of their fingerprint, so a
+// failed run says nothing about the plan (see the poisoning regression
+// test).
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *entry
+	entries map[string]*list.Element
+}
+
+type planEntry struct {
+	key string
+	val *cachedPlan
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached plan and marks it most recently used.
+func (pc *planCache) get(key string) (*cachedPlan, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.entries[key]
+	if !ok {
+		return nil, false
+	}
+	pc.order.MoveToFront(el)
+	return el.Value.(*planEntry).val, true
+}
+
+// put inserts (or refreshes) a plan, evicting the least recently used
+// entry when over capacity.
+func (pc *planCache) put(key string, val *cachedPlan) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.entries[key]; ok {
+		el.Value.(*planEntry).val = val
+		pc.order.MoveToFront(el)
+		return
+	}
+	pc.entries[key] = pc.order.PushFront(&planEntry{key: key, val: val})
+	for pc.order.Len() > pc.cap {
+		oldest := pc.order.Back()
+		pc.order.Remove(oldest)
+		delete(pc.entries, oldest.Value.(*planEntry).key)
+		svPlanEvictions.Inc()
+	}
+}
+
+// len reports the current entry count.
+func (pc *planCache) len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.order.Len()
+}
+
+// keys returns the cached fingerprints, most recently used first.
+func (pc *planCache) keys() []string {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	out := make([]string, 0, pc.order.Len())
+	for el := pc.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*planEntry).key)
+	}
+	return out
+}

@@ -1,0 +1,650 @@
+// Package serve turns the overlap pipeline into a long-running service:
+// a daemon that accepts compile, tune, and run jobs over HTTP/JSON and
+// answers them from a compiled-plan cache instead of re-running the
+// partition → decompose → schedule pipeline per invocation.
+//
+// The pipeline's decisions are pure functions of the (program, machine
+// spec, device count, kernel workers, instrumentation) fingerprint —
+// exactly the property a serving system exploits. The daemon layers
+// three mechanisms on that purity:
+//
+//   - a compiled Plan artifact (autotune.Plan): the transformed,
+//     scheduled program frozen to text with its knobs and calibration,
+//     held in an in-memory LRU keyed by the autotune fingerprint and
+//     backed by the on-disk decision cache, so the steady-state run
+//     path is one map lookup plus runtime execution — zero compilation;
+//   - a channel-based request batcher: a bounded inbox flushed at
+//     MaxBatch requests or MaxWait after the first, grouping requests
+//     by fingerprint so N simultaneous callers with identical programs
+//     share exactly one compile (batcher.go);
+//   - an admission-control semaphore bounding concurrent runtime
+//     executions, so served runs share the process-wide einsum kernel
+//     worker pool instead of oversubscribing it.
+//
+// Failures degrade, never cascade: a run that fails (injected fault,
+// deadline) returns the structured *runtime.RunError as JSON with a
+// 5xx, the daemon keeps serving, and the plan cache is untouched — a
+// failed run says nothing about the plan that produced it.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"overlap/internal/autotune"
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/models"
+	"overlap/internal/obs"
+	"overlap/internal/runtime"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+// Config tunes the daemon. The zero value serves with sane defaults on
+// the TPU-v4 spec.
+type Config struct {
+	// Spec is the machine model plans are compiled and executed
+	// against; zero means machine.TPUv4().
+	Spec machine.Spec
+
+	// MaxBatch flushes the batcher when this many requests have
+	// collected (default 8); MaxWait flushes a partial batch this long
+	// after its first request (default 2ms).
+	MaxBatch int
+	MaxWait  time.Duration
+
+	// InboxSize bounds the batcher inbox; requests beyond it are
+	// rejected with 503 (default 256).
+	InboxSize int
+
+	// MaxConcurrentRuns bounds runtime executions holding the kernel
+	// worker pool at once (default 4).
+	MaxConcurrentRuns int
+
+	// PlanCacheSize bounds the in-memory compiled-plan LRU (default 64).
+	PlanCacheSize int
+
+	// CachePath / DisableDiskCache control the autotune decision cache
+	// backing the plan cache (empty path = per-user default).
+	CachePath        string
+	DisableDiskCache bool
+
+	// TuneTopK and TuneTimeScale shape cold-path compiles (defaults 2
+	// and 50); RunTimeScale is the wire-delay injection scale of served
+	// runs (default 50; negative disables injection).
+	TuneTopK      int
+	TuneTimeScale float64
+	RunTimeScale  float64
+
+	// DefaultDeadline bounds runs that do not carry their own
+	// deadline_ms (default 60s).
+	DefaultDeadline time.Duration
+
+	// DebugFaults allows requests to carry fault-injection specs; off,
+	// such requests are rejected — chaos is an operator decision, not a
+	// caller one.
+	DebugFaults bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Spec.Name == "" {
+		c.Spec = machine.TPUv4()
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.InboxSize <= 0 {
+		c.InboxSize = 256
+	}
+	if c.MaxConcurrentRuns <= 0 {
+		c.MaxConcurrentRuns = 4
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 64
+	}
+	if c.TuneTopK <= 0 {
+		c.TuneTopK = 2
+	}
+	if c.TuneTimeScale == 0 {
+		c.TuneTimeScale = 50
+	}
+	if c.RunTimeScale == 0 {
+		c.RunTimeScale = 50
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 60 * time.Second
+	}
+	return c
+}
+
+// Server is the overlap-as-a-service daemon. Create with New, attach
+// with Handler or Start, stop with Shutdown.
+type Server struct {
+	cfg      Config
+	plans    *planCache
+	batch    *batcher
+	slots    chan struct{} // admission semaphore
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	draining atomic.Bool
+	// drainMu is the drain barrier: every in-flight handler holds a read
+	// lock, and Shutdown's write lock acquires only once they have all
+	// finished. (A WaitGroup cannot express this — Add would race Wait
+	// when a request slips past the draining gate at counter zero.)
+	drainMu sync.RWMutex
+}
+
+// New builds a daemon from the config; it starts serving once attached
+// to a listener (Start) or a mux (Handler).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		plans: newPlanCache(cfg.PlanCacheSize),
+		slots: make(chan struct{}, cfg.MaxConcurrentRuns),
+	}
+	s.batch = newBatcher(s.plans, cfg.InboxSize, cfg.MaxBatch, cfg.MaxWait)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/run", s.guard(s.handleRun))
+	s.mux.HandleFunc("/v1/compile", s.guard(s.handleCompile))
+	s.mux.HandleFunc("/v1/plans", s.guard(s.handlePlans))
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.Handle("/metrics", obs.Default().Handler())
+	return s, nil
+}
+
+// Handler exposes the daemon's routes (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr (":0" picks a free port), serves in a background
+// goroutine, and returns the resolved address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains gracefully: new requests are refused, every in-flight
+// request (including queued compiles its waiters still hold) completes
+// and is answered, then the batcher stops. Safe to call without Start
+// (test servers driving Handler directly).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.drainMu.Lock()
+		defer s.drainMu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.batch.close()
+	return err
+}
+
+// guard wraps a handler with the drain gate, the in-flight waitgroup,
+// and request counting.
+func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: draining"))
+			return
+		}
+		s.drainMu.RLock()
+		defer s.drainMu.RUnlock()
+		// Re-check inside the lock: a request that passed the fast gate
+		// just as draining flipped must still be refused, not raced.
+		if s.draining.Load() {
+			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: draining"))
+			return
+		}
+		svRequests.Inc()
+		h(w, r)
+	}
+}
+
+// Request is one compile or run job. Either Model (a Table 1/2 name,
+// miniaturized to Devices×Dim) or Program (hlo.Format text) names the
+// computation.
+type Request struct {
+	Model   string `json:"model,omitempty"`
+	Dim     int    `json:"dim,omitempty"`
+	Program string `json:"program,omitempty"`
+	Devices int    `json:"devices"`
+
+	// Seed generates the run's replicated random arguments (default 42).
+	Seed int64 `json:"seed,omitempty"`
+	// TimescaleOverride replaces the server's RunTimeScale for this run
+	// (0 keeps the server default; negative disables injection).
+	Timescale float64 `json:"timescale,omitempty"`
+	// DeadlineMS bounds the run (0 = server default).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Check cross-checks the run bit-for-bit against the lockstep
+	// interpreter before answering.
+	Check bool `json:"check,omitempty"`
+
+	// Fault and FaultSeed inject a deterministic FaultPlan
+	// (ParseFaults grammar); rejected unless the server runs with
+	// DebugFaults.
+	Fault     string `json:"fault,omitempty"`
+	FaultSeed int64  `json:"fault_seed,omitempty"`
+}
+
+// RunResponse is the answer to /v1/run.
+type RunResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	// Plan is where the plan came from: hit, miss, or coalesced.
+	Plan      string `json:"plan"`
+	BestName  string `json:"best_name"`
+	Devices   int    `json:"devices"`
+	BatchSize int    `json:"batch_size"`
+
+	BreakdownMS       BreakdownMS `json:"breakdown_ms"`
+	OverlapEfficiency float64     `json:"overlap_efficiency"`
+	// Digest is sha256 over every device's root tensor bytes — callers
+	// verify bit-identity across replicas and against the interpreter
+	// without shipping tensors.
+	Digest   string   `json:"digest"`
+	Checked  bool     `json:"checked,omitempty"`
+	TimingMS TimingMS `json:"timing_ms"`
+}
+
+// BreakdownMS is the measured step decomposition in milliseconds.
+type BreakdownMS struct {
+	Step    float64 `json:"step"`
+	Compute float64 `json:"compute"`
+	Wire    float64 `json:"wire"`
+	Exposed float64 `json:"exposed"`
+}
+
+// TimingMS decomposes where the request's latency went, in
+// milliseconds.
+type TimingMS struct {
+	Queue     float64 `json:"queue"`
+	Plan      float64 `json:"plan"`
+	Admission float64 `json:"admission"`
+	Run       float64 `json:"run"`
+	Total     float64 `json:"total"`
+}
+
+// errorBody is every non-200 response: a cause, and for runtime
+// failures the full structured attribution.
+type errorBody struct {
+	Error       string            `json:"error"`
+	RunError    *runtime.RunError `json:"run_error,omitempty"`
+	Fingerprint string            `json:"fingerprint,omitempty"`
+}
+
+// handleRun serves POST /v1/run: acquire the plan (cache, coalesced, or
+// compiled), take an admission slot, execute on the concurrent runtime,
+// answer with the measured breakdown and overlap attribution.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, err := s.decodeRequest(w, r)
+	if err != nil {
+		return
+	}
+	comp, key, err := s.resolve(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx, cancel := s.runContext(r, req)
+	defer cancel()
+
+	out, err := s.acquirePlan(ctx, req, comp, key)
+	if err != nil {
+		s.writePlanError(w, key, err)
+		return
+	}
+
+	// Admission: served runs share the kernel worker pool; bound how
+	// many hold it at once.
+	admStart := time.Now()
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("serve: admission wait exceeded deadline: %w", ctx.Err()))
+		return
+	}
+	admWait := time.Since(admStart)
+	svAdmissionWait.Observe(admWait.Seconds())
+	svInflight.Add(1)
+	defer func() { svInflight.Add(-1); <-s.slots }()
+
+	args := Args(out.plan.comp, req.Seed)
+	ropts := runtime.Options{Spec: s.cfg.Spec, TimeScale: s.runTimeScale(req), Trace: true}
+	if req.Fault != "" {
+		plan, err := runtime.ParseFaults(req.Fault)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		plan.Seed = req.FaultSeed
+		ropts.Faults = plan
+	}
+
+	runStart := time.Now()
+	res, err := runtime.RunContext(ctx, out.plan.comp, out.plan.plan.Devices, args, ropts)
+	runDur := time.Since(runStart)
+	svRunSeconds.Observe(runDur.Seconds())
+	if err != nil {
+		// Graceful degradation: a failed run is this request's failure
+		// alone. The structured attribution goes back as JSON, the
+		// daemon keeps serving, and the plan stays cached — it is a
+		// pure function of the fingerprint and a run failure says
+		// nothing about it.
+		var re *runtime.RunError
+		if errors.As(err, &re) {
+			svRunErrors.Inc()
+			s.writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{Error: re.Error(), RunError: re, Fingerprint: key})
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	outputs := Outputs(out.plan.comp, res.All, out.plan.plan.Devices)
+	checked := false
+	if req.Check {
+		wantAll, err := sim.InterpretAll(out.plan.comp, out.plan.plan.Devices, args)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		want := Outputs(out.plan.comp, wantAll, out.plan.plan.Devices)
+		for i := range want {
+			if !outputs[i].Equal(want[i]) {
+				s.writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("serve: output %d diverges bitwise from the interpreter", i))
+				return
+			}
+		}
+		checked = true
+	}
+
+	b := res.Breakdown
+	s.writeJSON(w, http.StatusOK, RunResponse{
+		Fingerprint: key,
+		Plan:        out.source,
+		BestName:    out.plan.plan.BestName,
+		Devices:     out.plan.plan.Devices,
+		BatchSize:   out.batchSize,
+		BreakdownMS: BreakdownMS{
+			Step:    b.StepTime * 1e3,
+			Compute: b.Compute * 1e3,
+			Wire:    b.CollectiveWire * 1e3,
+			Exposed: b.Exposed * 1e3,
+		},
+		OverlapEfficiency: sim.Attribute(res.Trace).OverlapEfficiency(),
+		Digest:            Digest(outputs),
+		Checked:           checked,
+		TimingMS: TimingMS{
+			Queue:     out.queueWait.Seconds() * 1e3,
+			Plan:      out.planWait.Seconds() * 1e3,
+			Admission: admWait.Seconds() * 1e3,
+			Run:       runDur.Seconds() * 1e3,
+			Total:     time.Since(start).Seconds() * 1e3,
+		},
+	})
+}
+
+// handleCompile serves POST /v1/compile: acquire (or build) the plan
+// and return the serialized artifact itself — the same bytes
+// overlaptune -plan-out writes and overlaprun -plan-in executes.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeRequest(w, r)
+	if err != nil {
+		return
+	}
+	comp, key, err := s.resolve(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.runContext(r, req)
+	defer cancel()
+	out, err := s.acquirePlan(ctx, req, comp, key)
+	if err != nil {
+		s.writePlanError(w, key, err)
+		return
+	}
+	data, err := out.plan.plan.EncodeJSON()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Overlap-Plan", out.source)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handlePlans serves GET /v1/plans: the cached fingerprints, hottest
+// first.
+func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s needs GET", r.URL.Path))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"plans": s.plans.keys(),
+		"size":  s.plans.len(),
+	})
+}
+
+// decodeRequest parses and validates the POST body; on failure it has
+// already written the error response.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, error) {
+	if r.Method != http.MethodPost {
+		err := fmt.Errorf("serve: %s needs POST", r.URL.Path)
+		s.writeError(w, http.StatusMethodNotAllowed, err)
+		return nil, err
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return nil, err
+	}
+	if req.Devices < 1 {
+		err := fmt.Errorf("serve: request needs devices >= 1")
+		s.writeError(w, http.StatusBadRequest, err)
+		return nil, err
+	}
+	if (req.Model == "") == (req.Program == "") {
+		err := fmt.Errorf("serve: request needs exactly one of model or program")
+		s.writeError(w, http.StatusBadRequest, err)
+		return nil, err
+	}
+	if req.Fault != "" && !s.cfg.DebugFaults {
+		err := fmt.Errorf("serve: fault injection requires the daemon's debug-faults flag")
+		s.writeError(w, http.StatusForbidden, err)
+		return nil, err
+	}
+	if req.Seed == 0 {
+		req.Seed = 42
+	}
+	if req.Dim == 0 {
+		req.Dim = 8
+	}
+	return &req, nil
+}
+
+// resolve builds the request's computation (a miniaturized named model
+// or inline HLO text) and its cache fingerprint. Graph construction is
+// cheap and deliberately not cached — compilation (tune + transform +
+// schedule) is what the plan cache elides.
+func (s *Server) resolve(req *Request) (*hlo.Computation, string, error) {
+	var comp *hlo.Computation
+	if req.Program != "" {
+		c, err := hlo.Parse(req.Program)
+		if err != nil {
+			return nil, "", fmt.Errorf("serve: program does not parse: %w", err)
+		}
+		comp = c
+	} else {
+		cfg, err := models.ByName(req.Model)
+		if err != nil {
+			return nil, "", err
+		}
+		mini, err := models.Miniature(cfg, req.Devices, req.Dim)
+		if err != nil {
+			return nil, "", err
+		}
+		c, err := models.BuildLayerStep(mini)
+		if err != nil {
+			return nil, "", err
+		}
+		comp = c
+	}
+	return comp, autotune.Key(comp, s.cfg.Spec, req.Devices), nil
+}
+
+// acquirePlan funnels the request through the batcher: identical
+// fingerprints coalesce onto one compile, the plan cache answers warm
+// requests with zero compilation.
+func (s *Server) acquirePlan(ctx context.Context, req *Request, comp *hlo.Computation, key string) (planOutcome, error) {
+	devices, seed := req.Devices, req.Seed
+	return s.batch.submit(ctx, key, func() (*cachedPlan, error) {
+		plan, err := autotune.Compile(comp, devices, Args(comp, seed), autotune.Options{
+			Spec:         s.cfg.Spec,
+			TopK:         s.cfg.TuneTopK,
+			TimeScale:    s.cfg.TuneTimeScale,
+			CachePath:    s.cfg.CachePath,
+			DisableCache: s.cfg.DisableDiskCache,
+			Calibrate:    true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		exec, err := plan.Computation()
+		if err != nil {
+			return nil, err
+		}
+		return &cachedPlan{plan: plan, comp: exec}, nil
+	})
+}
+
+func (s *Server) runContext(r *http.Request, req *Request) (context.Context, context.CancelFunc) {
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), deadline)
+}
+
+func (s *Server) runTimeScale(req *Request) float64 {
+	if req.Timescale != 0 {
+		return req.Timescale
+	}
+	return s.cfg.RunTimeScale
+}
+
+func (s *Server) writePlanError(w http.ResponseWriter, key string, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, errOverloaded) {
+		status = http.StatusServiceUnavailable
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		status = http.StatusGatewayTimeout
+	}
+	svErrors.Inc()
+	s.writeJSON(w, status, errorBody{Error: err.Error(), Fingerprint: key})
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	svErrors.Inc()
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Args generates the replicated random per-parameter arguments the
+// serving convention uses (one tensor per parameter, seeded), shared by
+// the daemon, its clients, and the CLIs so a caller can reproduce a
+// served run bit for bit.
+func Args(c *hlo.Computation, seed int64) [][]*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	params := c.Parameters()
+	args := make([][]*tensor.Tensor, len(params))
+	for i, p := range params {
+		args[i] = []*tensor.Tensor{tensor.Rand(rng, p.Shape...)}
+	}
+	return args
+}
+
+// Outputs flattens a computation's real per-device output tensors in
+// deterministic order: the root's operands when the root is a tuple (a
+// tuple value carries no payload of its own), else the root itself.
+// Both runtime Result.All and sim.InterpretAll satisfy the map shape.
+func Outputs(c *hlo.Computation, all map[*hlo.Instruction][]*tensor.Tensor, devices int) []*tensor.Tensor {
+	roots := []*hlo.Instruction{c.Root()}
+	if c.Root().Op == hlo.OpTuple {
+		roots = c.Root().Operands
+	}
+	out := make([]*tensor.Tensor, 0, len(roots)*devices)
+	for d := 0; d < devices; d++ {
+		for _, in := range roots {
+			out = append(out, all[in][d])
+		}
+	}
+	return out
+}
+
+// Digest hashes every output tensor's bytes into one hex sha256 — the
+// cheap bit-identity witness responses carry.
+func Digest(values []*tensor.Tensor) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, t := range values {
+		for _, v := range t.Data() {
+			bits := math.Float64bits(v)
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(bits >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

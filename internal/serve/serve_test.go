@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"overlap/internal/autotune"
+	"overlap/internal/sim"
+)
+
+// testConfig keeps compiles cheap: one executed candidate, tiny wire
+// delays, no disk cache (each server starts cold and stays hermetic).
+func testConfig() Config {
+	return Config{
+		DisableDiskCache: true,
+		TuneTopK:         1,
+		TuneTimeScale:    5,
+		RunTimeScale:     5,
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postRun sends one /v1/run request and decodes the response; a non-200
+// status returns the raw body in err.
+func postRun(ts *httptest.Server, req Request) (*RunResponse, int, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, resp.StatusCode, nil, err
+	}
+	raw := buf.Bytes()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode, raw, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		return nil, resp.StatusCode, raw, err
+	}
+	return &rr, resp.StatusCode, raw, nil
+}
+
+func miniatureRequest() Request {
+	return Request{Model: "GPT_32B", Devices: 4, Dim: 2}
+}
+
+// TestWarmPathZeroCompilation pins the serving contract at the heart of
+// the daemon: the first request compiles, every identical request after
+// it is answered from the plan cache with zero compilation — witnessed
+// by the compile counter standing still.
+func TestWarmPathZeroCompilation(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+
+	c0 := svCompiles.Value()
+	first, _, _, err := postRun(ts, miniatureRequest())
+	if err != nil {
+		t.Fatalf("cold request: %v", err)
+	}
+	if first.Plan != "miss" {
+		t.Fatalf("cold request plan = %q, want miss", first.Plan)
+	}
+	if svCompiles.Value()-c0 != 1 {
+		t.Fatalf("cold request ran %v compiles, want 1", svCompiles.Value()-c0)
+	}
+
+	c1 := svCompiles.Value()
+	for i := 0; i < 3; i++ {
+		warm, _, _, err := postRun(ts, miniatureRequest())
+		if err != nil {
+			t.Fatalf("warm request %d: %v", i, err)
+		}
+		if warm.Plan != "hit" {
+			t.Fatalf("warm request %d plan = %q, want hit", i, warm.Plan)
+		}
+		if warm.Digest != first.Digest {
+			t.Fatalf("warm request %d digest %s != cold digest %s", i, warm.Digest, first.Digest)
+		}
+		if warm.TimingMS.Plan > first.TimingMS.Plan {
+			t.Errorf("warm plan acquisition (%.3fms) slower than the cold compile (%.3fms)",
+				warm.TimingMS.Plan, first.TimingMS.Plan)
+		}
+	}
+	if d := svCompiles.Value() - c1; d != 0 {
+		t.Fatalf("warm path ran %v compiles, want 0", d)
+	}
+}
+
+// TestConcurrentIdenticalFingerprintSingleCompile is the soak the issue
+// demands: 16 concurrent clients with the same fingerprint trigger
+// exactly one compile (pinned by the counter metric), and every client
+// gets a bit-identical answer that matches the lockstep interpreter on
+// the same compiled program. CI runs this under -race.
+func TestConcurrentIdenticalFingerprintSingleCompile(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+
+	const clients = 16
+	req := miniatureRequest()
+	req.Seed = 5
+
+	c0 := svCompiles.Value()
+	var wg sync.WaitGroup
+	responses := make([]*RunResponse, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			responses[i], _, _, errs[i] = postRun(ts, req)
+		}(i)
+	}
+	wg.Wait()
+
+	if d := svCompiles.Value() - c0; d != 1 {
+		t.Fatalf("%d concurrent identical requests ran %v compiles, want exactly 1", clients, d)
+	}
+	sources := map[string]int{}
+	for i := range responses {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		sources[responses[i].Plan]++
+		if responses[i].Digest != responses[0].Digest {
+			t.Fatalf("client %d digest %s diverges from client 0's %s",
+				i, responses[i].Digest, responses[0].Digest)
+		}
+	}
+	if sources["miss"] != 1 {
+		t.Fatalf("plan sources %v: want exactly one miss", sources)
+	}
+	if sources["miss"]+sources["coalesced"]+sources["hit"] != clients {
+		t.Fatalf("plan sources %v do not account for all %d clients", sources, clients)
+	}
+
+	// The shared digest must be the interpreter's answer on the same
+	// compiled program — fetch the artifact and replay it in lockstep.
+	resp, err := http.Post(ts.URL+"/v1/compile", "application/json",
+		bytes.NewReader(mustJSON(t, req)))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := autotune.DecodePlan(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decoding served plan: %v", err)
+	}
+	comp, err := plan.Computation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := Args(comp, req.Seed)
+	all, err := sim.InterpretAll(comp, plan.Devices, args)
+	if err != nil {
+		t.Fatalf("interpreter: %v", err)
+	}
+	want := Digest(Outputs(comp, all, plan.Devices))
+	if responses[0].Digest != want {
+		t.Fatalf("served digest %s != interpreter digest %s", responses[0].Digest, want)
+	}
+}
+
+// TestRunErrorStructured5xx pins graceful degradation: a faulted run
+// answers 503 with the structured RunError attribution, the daemon
+// keeps serving, and the plan cache is not poisoned — the next healthy
+// request is a warm hit.
+func TestRunErrorStructured5xx(t *testing.T) {
+	cfg := testConfig()
+	cfg.DebugFaults = true
+	_, ts := newTestServer(t, cfg)
+
+	healthy, _, _, err := postRun(ts, miniatureRequest())
+	if err != nil {
+		t.Fatalf("priming request: %v", err)
+	}
+
+	e0 := svRunErrors.Value()
+	faulted := miniatureRequest()
+	faulted.Fault = "crash:dev:1"
+	faulted.DeadlineMS = 30000
+	_, status, raw, err := postRun(ts, faulted)
+	if err == nil {
+		t.Fatal("faulted run succeeded, want structured 5xx")
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("faulted run status = %d, want 503; body %s", status, raw)
+	}
+	if svRunErrors.Value()-e0 != 1 {
+		t.Fatalf("run-error counter moved %v, want 1", svRunErrors.Value()-e0)
+	}
+	var body struct {
+		Error    string `json:"error"`
+		RunError *struct {
+			Device int    `json:"device"`
+			Phase  string `json:"phase"`
+			Fault  string `json:"fault"`
+			Cause  string `json:"cause"`
+		} `json:"run_error"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("5xx body is not JSON: %v\n%s", err, raw)
+	}
+	if body.RunError == nil {
+		t.Fatalf("5xx body carries no structured run_error: %s", raw)
+	}
+	if body.RunError.Device != 1 {
+		t.Errorf("run_error.device = %d, want 1", body.RunError.Device)
+	}
+	if body.RunError.Fault == "" || body.RunError.Cause == "" {
+		t.Errorf("run_error missing fault/cause: %s", raw)
+	}
+	if body.Fingerprint == "" {
+		t.Errorf("5xx body missing the fingerprint: %s", raw)
+	}
+
+	// The daemon survived and the plan survived: same fingerprint, warm
+	// hit, zero new compiles, bit-identical answer.
+	c0 := svCompiles.Value()
+	after, _, _, err := postRun(ts, miniatureRequest())
+	if err != nil {
+		t.Fatalf("request after faulted run: %v", err)
+	}
+	if after.Plan != "hit" {
+		t.Fatalf("plan after faulted run = %q, want hit (cache must not be poisoned)", after.Plan)
+	}
+	if after.Digest != healthy.Digest {
+		t.Fatalf("digest after faulted run diverges: %s != %s", after.Digest, healthy.Digest)
+	}
+	if d := svCompiles.Value() - c0; d != 0 {
+		t.Fatalf("faulted run poisoned the cache: %v recompiles", d)
+	}
+}
+
+// TestFaultRejectedWithoutDebugFaults: chaos is an operator decision;
+// callers cannot inject faults into a production daemon.
+func TestFaultRejectedWithoutDebugFaults(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	req := miniatureRequest()
+	req.Fault = "crash:dev:1"
+	_, status, _, err := postRun(ts, req)
+	if err == nil || status != http.StatusForbidden {
+		t.Fatalf("fault request without DebugFaults: status %d (err %v), want 403", status, err)
+	}
+}
+
+// TestRequestValidation pins the request-surface errors.
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	cases := []struct {
+		name   string
+		method string
+		body   string
+		status int
+	}{
+		{"get method", http.MethodGet, "", http.StatusMethodNotAllowed},
+		{"bad json", http.MethodPost, "{", http.StatusBadRequest},
+		{"no devices", http.MethodPost, `{"model":"GPT_32B"}`, http.StatusBadRequest},
+		{"model and program", http.MethodPost, `{"model":"GPT_32B","program":"x","devices":2}`, http.StatusBadRequest},
+		{"neither model nor program", http.MethodPost, `{"devices":2}`, http.StatusBadRequest},
+		{"unknown model", http.MethodPost, `{"model":"nope","devices":2}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+"/v1/run", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+}
+
+// TestPlansEndpoint lists cached fingerprints after a run.
+func TestPlansEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	first, _, _, err := postRun(ts, miniatureRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Plans []string `json:"plans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Plans) != 1 || body.Plans[0] != first.Fingerprint {
+		t.Fatalf("plans = %v, want [%s]", body.Plans, first.Fingerprint)
+	}
+}
+
+// TestShutdownDrains pins the graceful-drain contract: Shutdown answers
+// in-flight work, then refuses new requests with 503.
+func TestShutdownDrains(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	if _, _, _, err := postRun(ts, miniatureRequest()); err != nil {
+		t.Fatalf("priming request: %v", err)
+	}
+
+	inflight := make(chan error, 1)
+	go func() {
+		_, _, _, err := postRun(ts, miniatureRequest())
+		inflight <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the request enter the handler
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request during drain: %v", err)
+	}
+
+	_, status, _, err := postRun(ts, miniatureRequest())
+	if err == nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("request after drain: status %d (err %v), want 503", status, err)
+	}
+}
+
+// TestHealthAndMetricsEndpoints sanity-checks the operational surface.
+func TestHealthAndMetricsEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -42,6 +42,7 @@ import (
 	"overlap/internal/models"
 	"overlap/internal/obs"
 	"overlap/internal/runtime"
+	"overlap/internal/serve"
 	"overlap/internal/sim"
 	"overlap/internal/tensor"
 	"overlap/internal/topology"
@@ -103,6 +104,14 @@ type (
 	AttributionReport = obs.AttributionReport
 	// CollectiveAttribution is one collective's hidden/exposed split.
 	CollectiveAttribution = obs.Attribution
+	// Plan is the immutable compiled artifact the serving path executes:
+	// the transformed scheduled program plus the knobs and calibration
+	// that produced it, keyed by the autotune fingerprint.
+	Plan = autotune.Plan
+	// ServerConfig configures the overlap-as-a-service daemon.
+	ServerConfig = serve.Config
+	// Server is the long-running compile/tune/run daemon (cmd/overlapd).
+	Server = serve.Server
 )
 
 // Scheduler kinds (§5.2).
@@ -189,6 +198,39 @@ func DefaultRunOptions(spec MachineSpec) RunOptions { return runtime.DefaultOpti
 func Autotune(c *Computation, numDevices int, args [][]*Tensor, opts AutotuneOptions) (*AutotuneResult, error) {
 	return autotune.Tune(c, numDevices, args, opts)
 }
+
+// CompilePlan runs the full pipeline — tune (answering from the
+// decision cache when warm), apply the winner, capture the schedule —
+// and freezes the result into an immutable, serializable Plan: the
+// artifact the daemon caches, the CLIs round-trip via -plan-out /
+// -plan-in, and Plan.Computation re-executes with zero compilation.
+func CompilePlan(c *Computation, numDevices int, args [][]*Tensor, opts AutotuneOptions) (*Plan, error) {
+	return autotune.Compile(c, numDevices, args, opts)
+}
+
+// DecodePlan parses a serialized Plan, rejecting version mismatches and
+// artifacts whose embedded program no longer parses.
+func DecodePlan(data []byte) (*Plan, error) { return autotune.DecodePlan(data) }
+
+// PlanFromResult freezes an already-computed Autotune decision into a
+// Plan without re-searching (one Apply on a clone of c).
+func PlanFromResult(c *Computation, numDevices int, res *AutotuneResult) (*Plan, error) {
+	return autotune.PlanFromResult(c, numDevices, res)
+}
+
+// PlanKey returns the fingerprint a computation compiles and caches
+// under: program shape, machine spec, device count, kernel workers, and
+// the telemetry toggle — every input that moves measured runtimes.
+func PlanKey(c *Computation, spec MachineSpec, numDevices int) string {
+	return autotune.Key(c, spec, numDevices)
+}
+
+// NewServer builds the overlap-as-a-service daemon: an HTTP/JSON server
+// whose hot path is plan-cache lookup + runtime execution, with request
+// batching (identical fingerprints share one compile) and admission
+// control (bounded concurrent runs over the shared kernel pool). Start
+// it with Server.Start and stop it with Server.Shutdown.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
 
 // Miniature shrinks a Table 1/2 model onto a 1×devices ring small
 // enough to execute with real tensors, preserving its architecture and
