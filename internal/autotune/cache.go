@@ -20,8 +20,10 @@ import (
 // or the meaning of a knob changes. Version 2: keys gained the kernel
 // worker count, which changes measured runtimes. Version 3: keys gained
 // the telemetry-instrumentation toggle (recording overhead shifts
-// measured spans) and entries encode knobs via core.Knobs.
-const cacheVersion = 3
+// measured spans) and entries encode knobs via core.Knobs. Version 4:
+// the knob space gained GradBucketBytes (gradient bucketing), so
+// decisions made over the smaller space are stale.
+const cacheVersion = 4
 
 // DefaultCachePath returns where decisions persist when Options does
 // not say otherwise: <user cache dir>/overlap/autotune.json, falling

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"overlap/internal/hlo"
 )
 
@@ -32,6 +34,14 @@ func MakeAsync(c *hlo.Computation) int {
 			}
 			start := c.CollectivePermuteStart(in.Operands[0], in.Pairs)
 			done := c.CollectivePermuteDone(start)
+			// A custom-named permute (e.g. the gradient-bucket pass's
+			// "gbktK." prefix) keeps its name on the async pair so trace
+			// spans and overlap attribution stay addressable; auto-named
+			// permutes keep the auto-derived start/done names.
+			if in.Name != fmt.Sprintf("%s.%d", in.Op, in.ID) {
+				start.Name = in.Name + ".start"
+				done.Name = in.Name + ".done"
+			}
 			c.ReplaceAllUsesWith(in, done)
 			converted++
 		}

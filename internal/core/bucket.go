@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"overlap/internal/hlo"
+)
+
+// BucketInfo describes one gradient bucket the bucketing pass formed.
+type BucketInfo struct {
+	// Name is the bucket's instruction-name prefix ("gbkt0", "gbkt1",
+	// …); every CollectivePermute the bucket emits carries it, so trace
+	// spans and overlap attribution can be rolled up per bucket.
+	Name string `json:"name"`
+	// Bytes is the flattened payload size (4-byte elements, matching
+	// hlo.Instruction.ByteSize), before ring padding.
+	Bytes int64 `json:"bytes"`
+	// Members lists the original AllReduce instruction names, in
+	// schedule order.
+	Members []string `json:"members"`
+}
+
+// BucketAllReduces is the DDP-style gradient-bucketing pass: it groups
+// ring AllReduces — in a training step, the per-weight gradient
+// reductions the backward pass emits — into byte-bounded buckets and
+// lowers each bucket directly to ring form: flatten + concatenate the
+// members, a reduce-scatter phase of N CollectivePermute/Add steps,
+// then an all-gather phase of N DynamicUpdateSlice/CollectivePermute
+// steps, and finally slice each member's gradient back out.
+//
+// The payoff is the same as torch.DDP's bucketed async all-reduce: the
+// emitted permutes are made asynchronous and scheduled like every other
+// decomposed collective, so an early-layer bucket's wire time hides
+// under later layers' backward einsums instead of serializing after the
+// whole backward pass. A blocking AllReduce (or the ReduceScatter the
+// SplitAllReduce canonicalization would leave on a Concat) matches
+// neither collective-einsum pattern, which is why the bucket pass emits
+// the decomposed form itself rather than deferring to FindPatterns.
+//
+// maxBytes bounds each bucket's payload (a single larger gradient still
+// gets its own bucket). Only AllReduces whose groups form a ring of at
+// least two devices are touched; members are grouped in schedule order
+// and a bucket is cut early if adding a candidate would create a cycle
+// (the candidate transitively depends on a current member's result).
+// Summation order within a shard follows ring position exactly as in
+// the Einsum-ReduceScatter decomposition.
+func BucketAllReduces(c *hlo.Computation, maxBytes int64) []BucketInfo {
+	type candidate struct {
+		in   *hlo.Instruction
+		ring RingInfo
+	}
+	var cands []candidate
+	for _, in := range c.Instructions() {
+		if in.Op != hlo.OpAllReduce {
+			continue
+		}
+		if ring, ok := RingFromGroups(in.Groups); ok {
+			cands = append(cands, candidate{in, ring})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	// dependsOn reports whether instruction a transitively consumes b.
+	memo := map[*hlo.Instruction]map[*hlo.Instruction]bool{}
+	var dependsOn func(a, b *hlo.Instruction) bool
+	dependsOn = func(a, b *hlo.Instruction) bool {
+		if a == b {
+			return true
+		}
+		if hit, ok := memo[a]; ok {
+			return hit[b]
+		}
+		seen := map[*hlo.Instruction]bool{}
+		stack := []*hlo.Instruction{a}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, op := range cur.Operands {
+				if !seen[op] {
+					seen[op] = true
+					stack = append(stack, op)
+				}
+			}
+		}
+		memo[a] = seen
+		return seen[b]
+	}
+
+	// Greedy grouping in schedule order: same ring, byte bound, no
+	// member-to-member dependency.
+	var buckets [][]candidate
+	var cur []candidate
+	var curBytes int64
+	flush := func() {
+		if len(cur) > 0 {
+			buckets = append(buckets, cur)
+			cur, curBytes = nil, 0
+		}
+	}
+	for _, cand := range cands {
+		bytes := cand.in.ByteSize()
+		sameRing := len(cur) > 0 && ringEqual(cur[0].ring, cand.ring)
+		depends := false
+		for _, m := range cur {
+			if dependsOn(cand.in, m.in) {
+				depends = true
+				break
+			}
+		}
+		if len(cur) > 0 && (!sameRing || depends || curBytes+bytes > maxBytes) {
+			flush()
+		}
+		cur = append(cur, cand)
+		curBytes += bytes
+	}
+	flush()
+
+	var infos []BucketInfo
+	c.WithRootPreserved(func() {
+		for bi, members := range buckets {
+			ins := make([]*hlo.Instruction, len(members))
+			for i, m := range members {
+				ins[i] = m.in
+			}
+			infos = append(infos, emitBucket(c, fmt.Sprintf("gbkt%d", bi), members[0].ring, ins))
+		}
+		c.ScheduleStableTopological()
+		c.RemoveDeadCode()
+	})
+	return infos
+}
+
+// emitBucket lowers one bucket of same-ring AllReduces to the expanded
+// ring all-reduce and splices the results back in place of the members.
+func emitBucket(c *hlo.Computation, name string, ring RingInfo, members []*hlo.Instruction) BucketInfo {
+	info := BucketInfo{Name: name}
+	firstNew := c.NumInstructions()
+
+	// Flatten and concatenate the member payloads into one rank-1
+	// bucket, padded so the ring shard divides evenly.
+	flats := make([]*hlo.Instruction, len(members))
+	total := 0
+	for i, m := range members {
+		elems := m.NumElements()
+		flats[i] = c.Reshape(m.Operands[0], elems)
+		total += elems
+		info.Bytes += m.ByteSize()
+		info.Members = append(info.Members, m.Name)
+	}
+	bucket := flats[0]
+	if len(flats) > 1 {
+		bucket = c.Concat(0, flats...)
+	}
+	n := ring.N
+	padded := (total + n - 1) / n * n
+	if padded != total {
+		bucket = c.Pad(bucket, []int{0}, []int{padded - total}, 0)
+	}
+	shard := padded / n
+	left := ring.ShiftPairs(-1)
+
+	// Reduce-scatter phase, mirroring decomposeReduceScatter: the
+	// accumulator shard circular-shifts left every step while ring
+	// position pos adds the slice for shard (pos + i + 1) mod N, so
+	// after N steps each device holds the fully reduced shard matching
+	// its own position.
+	defer c.SetBuildGroup(0)
+	acc := c.Zeros("", []int{shard})
+	for i := 0; i < n; i++ {
+		c.NewBuildGroup()
+		sent := c.CollectivePermute(acc, left)
+		part := c.DynamicSlice(bucket, []hlo.DynOffset{ring.PosOffset(i+1, shard)}, []int{shard})
+		acc = c.Add(sent, part)
+	}
+
+	// All-gather phase, mirroring decomposeAllGather: the reduced shard
+	// circular-shifts left while each device deposits the shard it
+	// holds — shard (pos + i) mod N at step i — into the full bucket.
+	full := c.Zeros("", []int{padded})
+	curShard := acc
+	for i := 0; i < n; i++ {
+		c.NewBuildGroup()
+		full = c.DynamicUpdateSlice(full, curShard, []hlo.DynOffset{ring.PosOffset(i, shard)})
+		if i < n-1 {
+			curShard = c.CollectivePermute(curShard, left)
+		}
+	}
+
+	// Brand every emitted instruction with the bucket prefix — the
+	// permutes' names flow into trace spans (via MakeAsync's
+	// name-inheritance) and make per-bucket attribution rollups
+	// possible; the ID suffix keeps names unique.
+	instrs := c.Instructions()
+	for _, in := range instrs[firstNew:] {
+		in.Name = fmt.Sprintf("%s.%s.%d", name, in.Op, in.ID)
+	}
+
+	// Slice each member's reduced gradient back out.
+	offset := 0
+	for i, m := range members {
+		elems := m.NumElements()
+		sl := c.Slice(full, []int{offset}, []int{offset + elems})
+		res := c.Reshape(sl, m.Shape...)
+		res.Name = fmt.Sprintf("%s.out.%d", name, i)
+		c.ReplaceAllUsesWith(m, res)
+		offset += elems
+	}
+	return info
+}
+
+func ringEqual(a, b RingInfo) bool {
+	if a.N != b.N || a.Stride != b.Stride || len(a.Groups) != len(b.Groups) {
+		return false
+	}
+	for i := range a.Groups {
+		if len(a.Groups[i]) != len(b.Groups[i]) {
+			return false
+		}
+		for j := range a.Groups[i] {
+			if a.Groups[i][j] != b.Groups[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

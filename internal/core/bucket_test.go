@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+	"overlap/internal/topology"
+)
+
+// bucketProgram builds three ring AllReduces of different shapes — a
+// stand-in for per-weight gradient reductions — rooted in a tuple.
+func bucketProgram(n int) (*hlo.Computation, []*hlo.Instruction) {
+	c := hlo.NewComputation("buckets")
+	groups := topology.NewRing(n).AxisGroups(0)
+	a := c.Parameter(0, "a", []int{4, 8})
+	b := c.Parameter(1, "b", []int{8})
+	d := c.Parameter(2, "d", []int{2, 2, 2})
+	rs := []*hlo.Instruction{
+		c.AllReduce(a, groups),
+		c.AllReduce(b, groups),
+		c.AllReduce(d, groups),
+	}
+	c.Tuple(rs...)
+	return c, rs
+}
+
+// intArgs supplies small integer-valued tensors: integer sums are exact
+// in float64 no matter the association, so the bucketed ring all-reduce
+// must reproduce the blocking collective bit for bit.
+func intArgs(rng *rand.Rand, c *hlo.Computation, n int) [][]*tensor.Tensor {
+	params := c.Parameters()
+	args := make([][]*tensor.Tensor, len(params))
+	for i, p := range params {
+		shards := make([]*tensor.Tensor, n)
+		for dev := range shards {
+			t := tensor.New(p.Shape...)
+			for j := range t.Data() {
+				t.Data()[j] = float64(rng.Intn(17) - 8)
+			}
+			shards[dev] = t
+		}
+		args[i] = shards
+	}
+	return args
+}
+
+func interpretRootOperands(t *testing.T, c *hlo.Computation, n int, args [][]*tensor.Tensor) [][]*tensor.Tensor {
+	t.Helper()
+	all, err := sim.InterpretAll(c, n, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := c.Root()
+	out := make([][]*tensor.Tensor, len(root.Operands))
+	for i, op := range root.Operands {
+		out[i] = all[op]
+	}
+	return out
+}
+
+func TestBucketAllReducesMatchesBlocking(t *testing.T) {
+	const n = 4
+	rng := rand.New(rand.NewSource(7))
+	ref, _ := bucketProgram(n)
+	args := intArgs(rng, ref, n)
+	want := interpretRootOperands(t, ref, n, args)
+
+	for _, maxBytes := range []int64{1, 64, 1 << 20} {
+		c, _ := bucketProgram(n)
+		infos := BucketAllReduces(c, maxBytes)
+		if len(infos) == 0 {
+			t.Fatalf("maxBytes=%d: no buckets formed", maxBytes)
+		}
+		if err := c.Verify(); err != nil {
+			t.Fatalf("maxBytes=%d: %v", maxBytes, err)
+		}
+		for _, in := range c.Instructions() {
+			if in.Op == hlo.OpAllReduce {
+				t.Fatalf("maxBytes=%d: blocking AllReduce %s survived the pass", maxBytes, in.Name)
+			}
+		}
+		got := interpretRootOperands(t, c, n, args)
+		for i := range want {
+			for dev := 0; dev < n; dev++ {
+				if !got[i][dev].Equal(want[i][dev]) {
+					t.Fatalf("maxBytes=%d: root operand %d device %d diverges from blocking all-reduce", maxBytes, i, dev)
+				}
+			}
+		}
+	}
+}
+
+func TestBucketAllReducesByteBound(t *testing.T) {
+	const n = 4
+	c, _ := bucketProgram(n)
+	// Payloads are 128B + 32B + 32B; a 64-byte bound forces the first
+	// into its own bucket and lets the two small ones share.
+	infos := BucketAllReduces(c, 64)
+	if len(infos) != 2 {
+		t.Fatalf("got %d buckets, want 2: %+v", len(infos), infos)
+	}
+	if len(infos[0].Members) != 1 || len(infos[1].Members) != 2 {
+		t.Fatalf("bucket membership %+v, want [1, 2]", infos)
+	}
+	one, _ := bucketProgram(n)
+	all := BucketAllReduces(one, 1<<20)
+	if len(all) != 1 || len(all[0].Members) != 3 {
+		t.Fatalf("unbounded bucket %+v, want one bucket of 3", all)
+	}
+	if all[0].Bytes != 192 {
+		t.Fatalf("bucket bytes %d, want 192", all[0].Bytes)
+	}
+}
+
+func TestBucketNamesCarryPrefix(t *testing.T) {
+	const n = 4
+	c, _ := bucketProgram(n)
+	infos := BucketAllReduces(c, 1<<20)
+	if len(infos) != 1 {
+		t.Fatalf("want one bucket, got %+v", infos)
+	}
+	permutes := 0
+	for _, in := range c.Instructions() {
+		if in.Op == hlo.OpCollectivePermute && strings.HasPrefix(in.Name, "gbkt0.") {
+			permutes++
+		}
+	}
+	// N reduce-scatter steps plus N-1 all-gather shifts.
+	if want := 2*n - 1; permutes != want {
+		t.Fatalf("found %d prefixed permutes, want %d", permutes, want)
+	}
+	// The prefix must survive MakeAsync so trace spans stay addressable.
+	MakeAsync(c)
+	prefixedStarts := 0
+	for _, in := range c.Instructions() {
+		if in.Op == hlo.OpCollectivePermuteStart && strings.HasPrefix(in.Name, "gbkt0.") {
+			prefixedStarts++
+		}
+	}
+	if prefixedStarts != 2*n-1 {
+		t.Fatalf("found %d prefixed starts after MakeAsync, want %d", prefixedStarts, 2*n-1)
+	}
+}
+
+// TestBucketDependentAllReducesSplit: an AllReduce feeding another must
+// not share its bucket (the concat would create a cycle); the pass cuts
+// the bucket and the program still evaluates correctly.
+func TestBucketDependentAllReducesSplit(t *testing.T) {
+	const n = 2
+	build := func() *hlo.Computation {
+		c := hlo.NewComputation("dep")
+		groups := topology.NewRing(n).AxisGroups(0)
+		a := c.Parameter(0, "a", []int{4})
+		r1 := c.AllReduce(a, groups)
+		r2 := c.AllReduce(c.Add(r1, a), groups)
+		c.Tuple(r1, r2)
+		return c
+	}
+	rng := rand.New(rand.NewSource(11))
+	ref := build()
+	args := intArgs(rng, ref, n)
+	want := interpretRootOperands(t, ref, n, args)
+
+	c := build()
+	infos := BucketAllReduces(c, 1<<20)
+	if len(infos) != 2 {
+		t.Fatalf("dependent AllReduces share a bucket: %+v", infos)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	got := interpretRootOperands(t, c, n, args)
+	for i := range want {
+		for dev := 0; dev < n; dev++ {
+			if !got[i][dev].Equal(want[i][dev]) {
+				t.Fatalf("root operand %d device %d diverges", i, dev)
+			}
+		}
+	}
+}
+
+// TestApplyWithBucketsSchedulesAsync: through the full pipeline, the
+// bucket permutes become scheduled start/done pairs and the program
+// still verifies and matches the blocking baseline.
+func TestApplyWithBucketsSchedulesAsync(t *testing.T) {
+	const n = 4
+	rng := rand.New(rand.NewSource(13))
+	ref, _ := bucketProgram(n)
+	args := intArgs(rng, ref, n)
+	want := interpretRootOperands(t, ref, n, args)
+
+	c, _ := bucketProgram(n)
+	opts := DefaultOptions(machine.TPUv4())
+	opts.UseCostModel = false
+	opts.GradBucketBytes = 1 << 20
+	report, err := Apply(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Buckets) != 1 {
+		t.Fatalf("report.Buckets = %+v, want one bucket", report.Buckets)
+	}
+	starts := 0
+	for _, in := range c.Instructions() {
+		if in.Op == hlo.OpCollectivePermuteStart {
+			starts++
+		}
+	}
+	if starts == 0 {
+		t.Fatal("bucket permutes were not made asynchronous")
+	}
+	got := interpretRootOperands(t, c, n, args)
+	for i := range want {
+		for dev := 0; dev < n; dev++ {
+			if !got[i][dev].Equal(want[i][dev]) {
+				t.Fatalf("root operand %d device %d diverges after Apply", i, dev)
+			}
+		}
+	}
+}

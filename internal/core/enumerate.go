@@ -19,10 +19,10 @@ func (o Options) Fingerprint() string {
 		}
 		return 0
 	}
-	return fmt.Sprintf("sched=%s unroll=%d bidi=%d rolled=%d cost=%d fuse=%d friendly=%d remat=%d splitar=%d concat=%d",
+	return fmt.Sprintf("sched=%s unroll=%d bidi=%d rolled=%d cost=%d fuse=%d friendly=%d remat=%d splitar=%d concat=%d bucket=%d",
 		o.Scheduler, b(o.Unroll), b(o.Bidirectional), b(o.Rolled), b(o.UseCostModel),
 		b(o.FuseAddIntoEinsum), b(o.OverlapFriendlyFusion), b(o.RematerializeGathers),
-		b(o.SplitAllReduce), b(o.ConcatToPadMax))
+		b(o.SplitAllReduce), b(o.ConcatToPadMax), o.GradBucketBytes)
 }
 
 // EnumerateOptions returns the distinct pipeline configurations worth
@@ -37,7 +37,12 @@ func (o Options) Fingerprint() string {
 //     candidate is emitted;
 //   - OverlapFriendlyFusion only matters once FuseAddIntoEinsum is on;
 //   - RematerializeGathers is a no-op unless c (optional) contains a
-//     multi-consumer AllGather.
+//     multi-consumer AllGather;
+//   - SplitAllReduce and GradBucketBytes only act on ring AllReduces, so
+//     they are enumerated only when c contains one (the training step's
+//     DDP gradient reductions being the motivating case), and never
+//     together in one candidate: bucketing consumes the gradient
+//     AllReduces first, leaving the split pass nothing to do.
 //
 // Every candidate has UseCostModel off: the caller's search *replaces*
 // the per-site analytic gate with a whole-program decision. The blocking
@@ -61,25 +66,56 @@ func EnumerateOptions(spec machine.Spec, ringSize int, c *hlo.Computation) []Opt
 	type fusion struct{ fuse, friendly bool }
 	fusions := []fusion{{false, false}, {true, false}, {true, true}}
 
+	// (splitar, bucket) pairs: the plain program, the §2.1 identity
+	// split, and two gradient-bucket sizes bracketing the
+	// start-early/amortize-latency tradeoff.
+	type reduceKnob struct {
+		split  bool
+		bucket int64
+	}
+	reduces := []reduceKnob{{false, 0}}
+	if c != nil && hasRingAllReduce(c) {
+		reduces = append(reduces, reduceKnob{true, 0},
+			reduceKnob{false, 8 << 10}, reduceKnob{false, 512 << 10})
+	}
+
 	for _, sched := range []SchedulerKind{SchedulerBottomUp, SchedulerTopDown, SchedulerNone} {
 		for _, unroll := range []bool{false, true} {
 			for _, bidi := range bidis {
 				for _, fu := range fusions {
 					for _, remat := range remats {
-						o := base
-						o.Scheduler = sched
-						o.Unroll = unroll
-						o.Bidirectional = bidi
-						o.FuseAddIntoEinsum = fu.fuse
-						o.OverlapFriendlyFusion = fu.friendly
-						o.RematerializeGathers = remat
-						out = append(out, o)
+						for _, red := range reduces {
+							o := base
+							o.Scheduler = sched
+							o.Unroll = unroll
+							o.Bidirectional = bidi
+							o.FuseAddIntoEinsum = fu.fuse
+							o.OverlapFriendlyFusion = fu.friendly
+							o.RematerializeGathers = remat
+							o.SplitAllReduce = red.split
+							o.GradBucketBytes = red.bucket
+							out = append(out, o)
+						}
 					}
 				}
 			}
 		}
 	}
 	return out
+}
+
+// hasRingAllReduce reports whether any AllReduce's groups form a ring
+// the bucketing/split passes could lower.
+func hasRingAllReduce(c *hlo.Computation) bool {
+	for _, in := range c.Instructions() {
+		if in.Op != hlo.OpAllReduce {
+			continue
+		}
+		if _, ok := RingFromGroups(in.Groups); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // hasMultiConsumerGather reports whether any AllGather feeds more than

@@ -91,6 +91,17 @@ type Options struct {
 	// Max(PadLow, PadHigh) form (§5.4.3) so the pre-processing can fuse
 	// with the einsum.
 	ConcatToPadMax bool
+
+	// GradBucketBytes, when positive, runs the DDP-style gradient
+	// bucketing pass before everything else: ring AllReduces (the
+	// backward pass's per-weight gradient reductions) are grouped into
+	// buckets of at most this many bytes and lowered directly to an
+	// asynchronous ring all-reduce, so early buckets communicate while
+	// later layers' backward einsums still compute. Zero disables the
+	// pass. The value is a searchable autotuner knob: small buckets
+	// start communicating earlier, large buckets amortize per-step
+	// latency better.
+	GradBucketBytes int64
 }
 
 // DefaultOptions returns the configuration the paper deploys: all
@@ -144,6 +155,7 @@ type Knobs struct {
 	RematerializeGathers  bool   `json:"rematerialize_gathers,omitempty"`
 	SplitAllReduce        bool   `json:"split_all_reduce,omitempty"`
 	ConcatToPadMax        bool   `json:"concat_to_pad_max,omitempty"`
+	GradBucketBytes       int64  `json:"grad_bucket_bytes,omitempty"`
 }
 
 // Knobs strips o down to its serializable rewrite knobs.
@@ -158,6 +170,7 @@ func (o Options) Knobs() Knobs {
 		RematerializeGathers:  o.RematerializeGathers,
 		SplitAllReduce:        o.SplitAllReduce,
 		ConcatToPadMax:        o.ConcatToPadMax,
+		GradBucketBytes:       o.GradBucketBytes,
 	}
 }
 
@@ -184,6 +197,7 @@ func (k Knobs) Options(spec machine.Spec) Options {
 		RematerializeGathers:  k.RematerializeGathers,
 		SplitAllReduce:        k.SplitAllReduce,
 		ConcatToPadMax:        k.ConcatToPadMax,
+		GradBucketBytes:       k.GradBucketBytes,
 	}
 }
 
@@ -199,4 +213,7 @@ type Report struct {
 	Decisions []Decision
 	// FusionsFormed counts fusion nodes created.
 	FusionsFormed int
+	// Buckets describes the gradient buckets formed when
+	// GradBucketBytes is set.
+	Buckets []BucketInfo
 }

@@ -27,6 +27,12 @@ func Apply(c *hlo.Computation, opts Options) (Report, error) {
 
 	var applyErr error
 	c.WithRootPreserved(func() {
+		// Gradient bucketing runs first so it consumes the backward
+		// pass's ring AllReduces before SplitAllReduce would
+		// canonicalize them away.
+		if opts.GradBucketBytes > 0 {
+			report.Buckets = BucketAllReduces(c, opts.GradBucketBytes)
+		}
 		if opts.SplitAllReduce {
 			CanonicalizeAllReduce(c)
 		}

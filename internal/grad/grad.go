@@ -33,19 +33,23 @@ func Append(c *hlo.Computation, root, seed *hlo.Instruction, wrt []*hlo.Instruct
 		return nil, fmt.Errorf("grad: seed shape %v does not match root %v", seed.Shape, root.Shape)
 	}
 
-	// Restrict to the instructions root transitively depends on.
-	reachable := map[*hlo.Instruction]bool{}
-	var mark func(in *hlo.Instruction)
-	mark = func(in *hlo.Instruction) {
-		if reachable[in] {
-			return
-		}
-		reachable[in] = true
+	// Restrict to the instructions root transitively depends on. The
+	// walk is iterative with an explicit stack: backward graphs are as
+	// deep as the forward program is long, and a recursive walk over a
+	// many-thousand-instruction chain would grow the goroutine stack
+	// without bound.
+	reachable := map[*hlo.Instruction]bool{root: true}
+	stack := []*hlo.Instruction{root}
+	for len(stack) > 0 {
+		in := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		for _, op := range in.Operands {
-			mark(op)
+			if !reachable[op] {
+				reachable[op] = true
+				stack = append(stack, op)
+			}
 		}
 	}
-	mark(root)
 
 	// cotangents accumulates partial adjoints per instruction.
 	cotangents := map[*hlo.Instruction][]*hlo.Instruction{root: {seed}}

@@ -1,0 +1,155 @@
+package grad
+
+import (
+	"math/rand"
+	"testing"
+
+	"overlap/internal/hlo"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+// TestGradDeepChainNoRecursion pins the iterative reachability walk: a
+// ten-thousand-instruction dependency chain must differentiate without
+// growing a call stack proportional to graph depth. The chain is pure
+// accumulation (v += zeros), so the adjoint of the whole tower is the
+// identity and d loss/d x must equal the probe bit for bit.
+func TestGradDeepChainNoRecursion(t *testing.T) {
+	const depth = 10000
+	c := hlo.NewComputation("deep")
+	x := c.Parameter(0, "x", []int{2, 2})
+	probe := c.Parameter(1, "probe", []int{2, 2})
+	seed := c.Parameter(2, "seed", nil)
+	zero := c.Zeros("zero", []int{2, 2})
+	v := x
+	for i := 0; i < depth; i++ {
+		v = c.Add(v, zero)
+	}
+	loss := c.Einsum("ab,ab->", v, probe)
+
+	grads, err := Append(c, loss, seed, []*hlo.Instruction{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Tuple(grads[x])
+	if got := c.NumInstructions(); got < depth {
+		t.Fatalf("chain collapsed to %d instructions, want >= %d", got, depth)
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	args := [][]*tensor.Tensor{
+		{tensor.Rand(rng, 2, 2)},
+		{tensor.Rand(rng, 2, 2)},
+		{tensor.Scalar(1)},
+	}
+	vals, err := sim.InterpretAll(c, 1, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals[grads[x]][0].Equal(args[1][0]) {
+		t.Fatalf("d loss/d x through the %d-deep chain is not the probe:\ngot  %v\nwant %v",
+			depth, vals[grads[x]][0].Data(), args[1][0].Data())
+	}
+}
+
+// randomChain appends steps random shape-preserving ops to v, drawing
+// from the full adjoint menu: einsum contractions, adds, transposes,
+// concat+slice round trips, gather/scatter and permute collectives.
+// Einsums are capped so values stay in finite-difference range.
+func randomChain(rng *rand.Rand, c *hlo.Computation, n int, v, x, w *hlo.Instruction, steps int) *hlo.Instruction {
+	pairs := make([]hlo.SourceTargetPair, n)
+	for i := range pairs {
+		pairs[i] = hlo.SourceTargetPair{Source: i, Target: (i + 1) % n}
+	}
+	einsums := 0
+	for s := 0; s < steps; s++ {
+		switch op := rng.Intn(7); op {
+		case 0: // contraction against the second parameter
+			if einsums >= 2 {
+				v = c.Add(v, x)
+				continue
+			}
+			einsums++
+			v = c.Einsum("ab,bc->ac", v, w)
+		case 1:
+			v = c.Add(v, x)
+		case 2:
+			v = c.Transpose(v, 1, 0)
+		case 3: // concat then slice out the middle rows
+			cat := c.Concat(0, v, v)
+			v = c.Slice(cat, []int{2, 0}, []int{6, 4})
+		case 4:
+			v = c.AllReduce(v, ringGroups(n))
+		case 5:
+			v = c.CollectivePermute(v, pairs)
+		case 6: // widen with a copy, then reduce-scatter back down
+			cat := c.Concat(0, v, c.Copy(v))
+			v = c.ReduceScatter(cat, 0, ringGroups(n))
+		}
+	}
+	return v
+}
+
+// TestGradRandomizedDifferential fuzzes Append over random op chains and
+// checks every gradient element against central finite differences of
+// the global (device-summed) loss. Each trial exercises a different mix
+// of einsum, add, transpose, concat/slice, all-reduce, permute and
+// reduce-scatter adjoints composed in a different order.
+func TestGradRandomizedDifferential(t *testing.T) {
+	const n = 2
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(1000 + int64(trial)))
+		c := hlo.NewComputation("fuzz")
+		x := c.Parameter(0, "x", []int{4, 4})
+		w := c.Parameter(1, "w", []int{4, 4})
+		probe := c.Parameter(2, "probe", []int{4, 4})
+		seed := c.Parameter(3, "seed", nil)
+		v := randomChain(rng, c, n, x, x, w, 4)
+		loss := c.Einsum("ab,ab->", v, probe)
+		grads, err := Append(c, loss, seed, []*hlo.Instruction{x, w})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		c.Tuple(grads[x], grads[w])
+		if err := c.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		mk := func(shape ...int) []*tensor.Tensor {
+			out := make([]*tensor.Tensor, n)
+			for d := range out {
+				out[d] = tensor.Rand(rng, shape...)
+			}
+			return out
+		}
+		args := [][]*tensor.Tensor{mk(4, 4), mk(4, 4), mk(4, 4), {tensor.Scalar(1)}}
+
+		vals, err := sim.InterpretAll(c, n, args)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		const h = 1e-5
+		fd := func(param, dev, elem int) float64 {
+			orig := args[param][dev].Data()[elem]
+			args[param][dev].Data()[elem] = orig + h
+			plus := globalLoss(t, c, loss, n, args)
+			args[param][dev].Data()[elem] = orig - h
+			minus := globalLoss(t, c, loss, n, args)
+			args[param][dev].Data()[elem] = orig
+			return (plus - minus) / (2 * h)
+		}
+		for param, g := range map[int]*hlo.Instruction{0: grads[x], 1: grads[w]} {
+			for dev := 0; dev < n; dev++ {
+				for e := 0; e < 16; e++ {
+					want := fd(param, dev, e)
+					got := vals[g][dev].Data()[e]
+					if diff := abs(got - want); diff > 2e-3*(1+abs(want)) {
+						t.Fatalf("trial %d: d loss/d p%d[%d][%d]: grad %v vs fd %v",
+							trial, param, dev, e, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -104,6 +104,52 @@ func (r AttributionReport) OverlapEfficiency() float64 {
 	return r.TotalHidden / r.TotalWire
 }
 
+// GroupBy rolls the per-instruction collectives up under key(name):
+// rows mapping to the same key merge into one Attribution whose wire,
+// hidden and exposed seconds are summed and whose Under shares are
+// combined per compute instruction (largest first). Groups keep the
+// order in which their keys first appear. The gradient-bucketing pass
+// names every emitted permute "gbktK.…", so keying on the first
+// name segment yields a per-bucket attribution — one row per gradient
+// bucket instead of one per ring step.
+func (r AttributionReport) GroupBy(key func(name string) string) []Attribution {
+	index := map[string]int{}
+	var out []Attribution
+	for _, a := range r.Collectives {
+		k := key(a.Name)
+		i, ok := index[k]
+		if !ok {
+			i = len(out)
+			index[k] = i
+			out = append(out, Attribution{Name: k, Blocking: a.Blocking})
+		}
+		g := &out[i]
+		g.Wire += a.Wire
+		g.Hidden += a.Hidden
+		g.Exposed += a.Exposed
+		g.Blocking = g.Blocking && a.Blocking
+		for _, u := range a.Under {
+			found := false
+			for j := range g.Under {
+				if g.Under[j].Name == u.Name {
+					g.Under[j].Seconds += u.Seconds
+					found = true
+					break
+				}
+			}
+			if !found {
+				g.Under = append(g.Under, u)
+			}
+		}
+	}
+	for i := range out {
+		sort.Slice(out[i].Under, func(a, b int) bool {
+			return out[i].Under[a].Seconds > out[i].Under[b].Seconds
+		})
+	}
+	return out
+}
+
 // Attribute analyzes a span stream and reports, per collective
 // instruction, how much of its wire time was hidden under which compute
 // spans versus exposed.

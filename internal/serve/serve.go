@@ -50,6 +50,7 @@ import (
 	"overlap/internal/runtime"
 	"overlap/internal/sim"
 	"overlap/internal/tensor"
+	"overlap/internal/train"
 )
 
 // Config tunes the daemon. The zero value serves with sane defaults on
@@ -242,6 +243,18 @@ type Request struct {
 	Dim     int    `json:"dim,omitempty"`
 	Program string `json:"program,omitempty"`
 	Devices int    `json:"devices"`
+
+	// Scenario selects the program family: "" (or "layer") builds the
+	// forward layer step; "train" builds the fwd+bwd+SGD training step
+	// via internal/train. Training programs compile, cache, and serve
+	// through the same plan machinery as inference layers.
+	Scenario string `json:"scenario,omitempty"`
+	// Strategy partitions the training step ("megatron" or "ddp");
+	// train scenario only.
+	Strategy string `json:"strategy,omitempty"`
+	// Layers is the training step's layer count (default 2); train
+	// scenario only.
+	Layers int `json:"layers,omitempty"`
 
 	// Seed generates the run's replicated random arguments (default 42).
 	Seed int64 `json:"seed,omitempty"`
@@ -491,6 +504,19 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request
 		s.writeError(w, http.StatusBadRequest, err)
 		return nil, err
 	}
+	switch req.Scenario {
+	case "", "layer":
+	case "train":
+		if req.Program != "" {
+			err := fmt.Errorf("serve: the train scenario builds its program from a model; inline HLO is not accepted")
+			s.writeError(w, http.StatusBadRequest, err)
+			return nil, err
+		}
+	default:
+		err := fmt.Errorf("serve: unknown scenario %q (want layer or train)", req.Scenario)
+		s.writeError(w, http.StatusBadRequest, err)
+		return nil, err
+	}
 	if req.Fault != "" && !s.cfg.DebugFaults {
 		err := fmt.Errorf("serve: fault injection requires the daemon's debug-faults flag")
 		s.writeError(w, http.StatusForbidden, err)
@@ -511,7 +537,29 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request
 // schedule) is what the plan cache elides.
 func (s *Server) resolve(req *Request) (*hlo.Computation, string, error) {
 	var comp *hlo.Computation
-	if req.Program != "" {
+	if req.Scenario == "train" {
+		cfg, err := models.ByName(req.Model)
+		if err != nil {
+			return nil, "", err
+		}
+		strategy, err := train.ParseStrategy(req.Strategy)
+		if err != nil {
+			return nil, "", err
+		}
+		layers := req.Layers
+		if layers == 0 {
+			layers = 2
+		}
+		tc, err := train.FromModel(cfg, req.Devices, req.Dim, layers, strategy)
+		if err != nil {
+			return nil, "", err
+		}
+		prog, err := train.Build(tc)
+		if err != nil {
+			return nil, "", err
+		}
+		comp = prog.Comp
+	} else if req.Program != "" {
 		c, err := hlo.Parse(req.Program)
 		if err != nil {
 			return nil, "", fmt.Errorf("serve: program does not parse: %w", err)

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"testing"
+)
+
+func trainRequest(strategy string) Request {
+	return Request{
+		Model: "GPT_32B", Devices: 4, Dim: 2,
+		Scenario: "train", Strategy: strategy, Check: true,
+	}
+}
+
+// TestTrainScenarioServes pins the training-step serving contract: the
+// first train request compiles a plan for the fwd+bwd+update program,
+// identical requests hit the cache with zero compilation, and the
+// served digests stay bit-identical and interpreter-checked. The two
+// strategies fingerprint as distinct scenarios.
+func TestTrainScenarioServes(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+
+	c0 := svCompiles.Value()
+	first, _, _, err := postRun(ts, trainRequest("ddp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Plan != "miss" {
+		t.Fatalf("cold train request plan = %q, want miss", first.Plan)
+	}
+	if !first.Checked || first.Digest == "" {
+		t.Fatalf("train run not checked or missing digest: %+v", first)
+	}
+	compiles := svCompiles.Value() - c0
+	if compiles == 0 {
+		t.Fatal("cold train request did not compile")
+	}
+
+	warm, _, _, err := postRun(ts, trainRequest("ddp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Plan != "hit" {
+		t.Fatalf("warm train request plan = %q, want hit", warm.Plan)
+	}
+	if warm.Fingerprint != first.Fingerprint || warm.Digest != first.Digest {
+		t.Fatalf("warm train response diverges: %+v vs %+v", warm, first)
+	}
+	if got := svCompiles.Value() - c0; got != compiles {
+		t.Fatalf("warm train request compiled (%v -> %v)", compiles, got)
+	}
+
+	mega, _, _, err := postRun(ts, trainRequest("megatron"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mega.Fingerprint == first.Fingerprint {
+		t.Fatal("megatron and ddp training programs share a fingerprint")
+	}
+}
+
+// TestTrainScenarioValidation: unknown scenarios and strategies, and
+// inline HLO under the train scenario, are caller errors.
+func TestTrainScenarioValidation(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+
+	req := trainRequest("ddp")
+	req.Scenario = "finetune"
+	if _, status, _, _ := postRun(ts, req); status != 400 {
+		t.Fatalf("unknown scenario: status %d, want 400", status)
+	}
+
+	req = trainRequest("adam")
+	if _, status, _, _ := postRun(ts, req); status != 400 {
+		t.Fatalf("unknown strategy: status %d, want 400", status)
+	}
+
+	req = trainRequest("ddp")
+	req.Model, req.Program = "", "invalid"
+	if _, status, _, _ := postRun(ts, req); status != 400 {
+		t.Fatalf("train scenario with inline program: status %d, want 400", status)
+	}
+}

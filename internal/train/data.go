@@ -1,0 +1,102 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"overlap/internal/partition"
+	"overlap/internal/tensor"
+	"overlap/internal/topology"
+)
+
+// The training fixtures are dyadic rationals: every entry is k/2^4 with
+// |k| ≤ 8, and the learning rate is a power of two. All the float64
+// arithmetic a training step performs on such values — products, sums
+// in any order, the SGD update — is then exact (the significand budget
+// is bounded far below 53 bits for the miniature shapes), so the same
+// gradients come out bit-identical no matter how a decomposition
+// reorders the collective's additions. That is what lets the
+// cross-config digest comparison demand equality instead of tolerance.
+const (
+	quantBits  = 4
+	quantRange = 8
+)
+
+// quantRand fills a tensor with dyadic rationals k/2^quantBits, k
+// uniform in [-quantRange, quantRange].
+func quantRand(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	data := t.Data()
+	scale := math.Ldexp(1, -quantBits)
+	for i := range data {
+		data[i] = float64(rng.Intn(2*quantRange+1)-quantRange) * scale
+	}
+	return t
+}
+
+// CheckLR rejects learning rates that are not powers of two in
+// [2^-12, 1]: anything else breaks the dyadic-exactness contract above.
+func CheckLR(lr float64) error {
+	frac, exp := math.Frexp(lr)
+	if frac != 0.5 || exp > 1 || exp < -11 {
+		return fmt.Errorf("train: learning rate %g must be a power of two in [2^-12, 1] to keep the update arithmetic exact", lr)
+	}
+	return nil
+}
+
+// Args builds the deterministic training inputs for prog: token-sharded
+// activations and negated targets, weights sharded or replicated per
+// the strategy, the scalar cotangent seed (1) and negated learning
+// rate. The layout follows the Param* constants; runtime and
+// interpreter replicate single-entry lists, so replicated parameters
+// carry one tensor.
+func Args(prog *Program, seed int64, lr float64) ([][]*tensor.Tensor, error) {
+	if err := CheckLR(lr); err != nil {
+		return nil, err
+	}
+	cfg := prog.Config
+	rng := rand.New(rand.NewSource(seed))
+	mesh := topology.NewTorus2D(1, cfg.Devices)
+	rows := partition.OnDim(2, 0, 1)
+
+	x := quantRand(rng, cfg.Tokens, cfg.Model)
+	y := quantRand(rng, cfg.Tokens, cfg.Model)
+	negy := tensor.New(y.Shape()...)
+	for i, v := range y.Data() {
+		negy.Data()[i] = -v
+	}
+
+	args := make([][]*tensor.Tensor, ParamWeight0+cfg.NumWeights())
+	args[ParamX] = partition.ShardTensor(x, rows, mesh)
+	args[ParamNegY] = partition.ShardTensor(negy, rows, mesh)
+	args[ParamSeed] = []*tensor.Tensor{tensor.Scalar(1)}
+	args[ParamNegLR] = []*tensor.Tensor{tensor.Scalar(-lr)}
+	for i := 0; i < cfg.NumWeights(); i++ {
+		w := quantRand(rng, prog.WeightGlobal[i]...)
+		// Scale by 2^-s with 2^s >= sqrt(fan_in): the usual
+		// 1/sqrt(fan_in) initialization rounded to a power of two, so
+		// activations stay O(1) through the layer chain without
+		// spending any dyadic-exactness budget (the scale only shifts
+		// exponents).
+		scale := math.Ldexp(1, -weightShift(prog.WeightGlobal[i][0]))
+		for j, v := range w.Data() {
+			w.Data()[j] = v * scale
+		}
+		if cfg.Strategy == StrategyMegatron {
+			args[ParamWeight0+i] = partition.ShardTensor(w, rows, mesh)
+		} else {
+			args[ParamWeight0+i] = []*tensor.Tensor{w}
+		}
+	}
+	return args, nil
+}
+
+// weightShift returns the smallest s with 2^s >= sqrt(fanIn).
+func weightShift(fanIn int) int {
+	s := 0
+	for 1<<(2*s) < fanIn {
+		s++
+	}
+	return s
+}

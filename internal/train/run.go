@@ -1,0 +1,271 @@
+package train
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+
+	"overlap/internal/core"
+	"overlap/internal/hlo"
+	"overlap/internal/machine"
+	"overlap/internal/obs"
+	"overlap/internal/runtime"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+// Options configures a multi-step training run.
+type Options struct {
+	// Pipeline, when non-nil, is applied to the built program before
+	// execution; nil keeps the blocking baseline (no overlap).
+	Pipeline *core.Options
+	// Steps is the number of training steps (default 1). Updated
+	// weights feed the next step, so the loss trajectory is a real
+	// gradient descent.
+	Steps int
+	// LR is the learning rate; must be a power of two (see CheckLR).
+	// Zero defaults to 1/16.
+	LR float64
+	// Seed drives the deterministic dyadic data generation.
+	Seed int64
+	// Spec prices the injected wire delays; zero-value defaults to
+	// machine.TPUv4().
+	Spec machine.Spec
+	// TimeScale stretches modeled wire seconds into real sleeps,
+	// exactly as in runtime.Options.
+	TimeScale float64
+	// Check cross-checks every step's outputs bitwise against
+	// sim.Interpret on the same program and arguments.
+	Check bool
+	// Attribution records a trace on the final step and attaches the
+	// per-collective overlap attribution to the result.
+	Attribution bool
+	// Faults injects deterministic faults into every step's execution.
+	Faults *runtime.FaultPlan
+}
+
+// StepStat is one training step's outcome.
+type StepStat struct {
+	// Loss is the global squared-error loss, summed over devices.
+	Loss float64 `json:"loss"`
+	// GradDigest is a sha256 over every gradient output's bytes on
+	// every device — the cross-config bitwise-identity witness.
+	GradDigest string `json:"grad_digest"`
+	// WeightDigest hashes the updated weights the same way.
+	WeightDigest string `json:"weight_digest"`
+	// StepSeconds is the measured wall-clock step time.
+	StepSeconds float64 `json:"step_seconds"`
+	// Checked marks a step verified bitwise against the interpreter.
+	Checked bool `json:"checked"`
+}
+
+// Result is a completed training run.
+type Result struct {
+	Config Config      `json:"config"`
+	Knobs  *core.Knobs `json:"knobs,omitempty"`
+	// Report is the pipeline's rewrite summary (zero when no pipeline
+	// ran); Report.Buckets lists the gradient buckets formed.
+	Report core.Report `json:"-"`
+	Steps  []StepStat  `json:"steps"`
+	// Attribution is the final step's per-collective overlap breakdown
+	// when Options.Attribution was set.
+	Attribution *obs.AttributionReport `json:"attribution,omitempty"`
+	// BucketAttribution rolls Attribution up per gradient bucket (rows
+	// keyed "gbktK"), non-bucket collectives keep their own rows.
+	BucketAttribution []obs.Attribution `json:"bucket_attribution,omitempty"`
+	// Modeled is the discrete-event attribution of the same transformed
+	// program on the machine model (sim.SimulateTrace): deterministic
+	// and scale-consistent where the measured Attribution depends on
+	// real kernel timings, so it is the witness CI asserts on.
+	Modeled *obs.AttributionReport `json:"modeled,omitempty"`
+	// ModeledBuckets rolls Modeled up per gradient bucket.
+	ModeledBuckets []obs.Attribution `json:"modeled_buckets,omitempty"`
+}
+
+// FinalLoss returns the last step's loss (NaN-free by construction).
+func (r *Result) FinalLoss() float64 {
+	if len(r.Steps) == 0 {
+		return 0
+	}
+	return r.Steps[len(r.Steps)-1].Loss
+}
+
+// Run builds cfg's training-step program, optionally applies the
+// overlap pipeline, and executes opts.Steps SGD steps on the goroutine
+// runtime, feeding each step's updated weights into the next. Gradients
+// and updated weights are digested per step; with opts.Check every root
+// output is compared bitwise against the interpreter.
+func Run(ctx context.Context, cfg Config, opts Options) (*Result, error) {
+	prog, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg}
+	if opts.Pipeline != nil {
+		report, err := core.Apply(prog.Comp, *opts.Pipeline)
+		if err != nil {
+			return nil, err
+		}
+		res.Report = report
+		k := opts.Pipeline.Knobs()
+		res.Knobs = &k
+	}
+	return Execute(ctx, prog, res, opts)
+}
+
+// Execute runs the training loop over an already-transformed program —
+// the entry point for compiled-plan and serving paths, where the
+// computation arrived via autotune rather than core.Apply. The res
+// argument carries any pipeline report; pass &Result{Config: …} when
+// starting fresh.
+func Execute(ctx context.Context, prog *Program, res *Result, opts Options) (*Result, error) {
+	cfg := prog.Config
+	spec := opts.Spec
+	if spec.Name == "" {
+		spec = machine.TPUv4()
+	}
+	lr := opts.LR
+	if lr == 0 {
+		lr = 1.0 / 16
+	}
+	steps := opts.Steps
+	if steps < 1 {
+		steps = 1
+	}
+	args, err := Args(prog, opts.Seed, lr)
+	if err != nil {
+		return nil, err
+	}
+
+	trGradBucketBytes.Set(bucketBytes(opts.Pipeline))
+	trGradBuckets.Set(float64(len(res.Report.Buckets)))
+
+	if opts.Attribution {
+		_, events, err := sim.SimulateTrace(prog.Comp, cfg.Devices, spec)
+		if err != nil {
+			return nil, fmt.Errorf("train: modeled attribution: %w", err)
+		}
+		rep := sim.Attribute(events)
+		res.Modeled = &rep
+		res.ModeledBuckets = rep.GroupBy(BucketKey)
+	}
+
+	n := cfg.Devices
+	w := cfg.NumWeights()
+	for step := 0; step < steps; step++ {
+		ropts := runtime.Options{Spec: spec, TimeScale: opts.TimeScale, Faults: opts.Faults}
+		last := step == steps-1
+		if opts.Attribution && last {
+			ropts.Trace = true
+		}
+		rres, err := runtime.RunContext(ctx, prog.Comp, n, args, ropts)
+		if err != nil {
+			return nil, fmt.Errorf("train: step %d: %w", step, err)
+		}
+
+		loss := 0.0
+		for _, t := range rres.All[prog.RootLoss()] {
+			loss += t.At()
+		}
+		stat := StepStat{
+			Loss:         loss,
+			GradDigest:   digestOutputs(rres.All, gradOps(prog), n),
+			WeightDigest: digestOutputs(rres.All, weightOps(prog), n),
+			StepSeconds:  rres.Breakdown.StepTime,
+		}
+
+		if opts.Check {
+			want, err := sim.InterpretAll(prog.Comp, n, args)
+			if err != nil {
+				return nil, fmt.Errorf("train: step %d interpreter: %w", step, err)
+			}
+			for _, op := range prog.Comp.Root().Operands {
+				for d := 0; d < n; d++ {
+					if !rres.All[op][d].Equal(want[op][d]) {
+						return nil, fmt.Errorf("train: step %d: %s on device %d diverges from the interpreter", step, op.Name, d)
+					}
+				}
+			}
+			stat.Checked = true
+			trChecks.Inc()
+		}
+
+		trSteps.Inc()
+		trLoss.Set(loss)
+		trStepSeconds.Observe(stat.StepSeconds)
+		res.Steps = append(res.Steps, stat)
+
+		if opts.Attribution && last {
+			rep := sim.Attribute(rres.Trace)
+			res.Attribution = &rep
+			res.BucketAttribution = rep.GroupBy(BucketKey)
+			trGradWireSeconds.Set(rep.TotalWire)
+			trGradHiddenSeconds.Set(rep.TotalHidden)
+		}
+
+		// The updated weights become the next step's parameters; x, the
+		// targets, the seed and the learning rate stay fixed.
+		for i := 0; i < w; i++ {
+			args[ParamWeight0+i] = rres.All[prog.RootWeight(i)]
+		}
+	}
+	return res, nil
+}
+
+// BucketKey maps a gradient-bucket instruction name ("gbkt3.…") to its
+// bucket ("gbkt3") and leaves every other collective name untouched —
+// the GroupBy key for per-bucket attribution.
+func BucketKey(name string) string {
+	if strings.HasPrefix(name, "gbkt") {
+		if i := strings.IndexByte(name, '.'); i > 0 {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func gradOps(prog *Program) []*hlo.Instruction {
+	w := prog.Config.NumWeights()
+	out := make([]*hlo.Instruction, w)
+	for i := range out {
+		out[i] = prog.RootGrad(i)
+	}
+	return out
+}
+
+func weightOps(prog *Program) []*hlo.Instruction {
+	w := prog.Config.NumWeights()
+	out := make([]*hlo.Instruction, w)
+	for i := range out {
+		out[i] = prog.RootWeight(i)
+	}
+	return out
+}
+
+// digestOutputs hashes the named root operands' tensors across devices
+// into one hex sha256, float bits taken verbatim: equal digests mean
+// bit-identical values.
+func digestOutputs(all map[*hlo.Instruction][]*tensor.Tensor, ops []*hlo.Instruction, n int) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, op := range ops {
+		for d := 0; d < n; d++ {
+			for _, v := range all[op][d].Data() {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+				h.Write(buf[:])
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func bucketBytes(p *core.Options) float64 {
+	if p == nil {
+		return 0
+	}
+	return float64(p.GradBucketBytes)
+}

@@ -1,0 +1,257 @@
+// Package train builds and executes end-to-end training steps —
+// forward pass, reverse-mode backward pass, and an SGD weight update in
+// one SPMD program — and overlaps the gradient communication the
+// backward pass produces with its remaining computation.
+//
+// The paper's §2.2 observation is that both decomposition kinds appear
+// once you differentiate: "the AllGathers will become ReduceScatters".
+// This package realizes that claim two ways:
+//
+//   - StrategyMegatron shards every weight row-wise across the ring and
+//     AllGathers it before its forward einsum; grad.Append transposes
+//     each gather into a weight-gradient einsum feeding a
+//     ReduceScatter, so each layer's weight-gradient computation hides
+//     that layer's gradient collective (SNIPPETS-style Megatron
+//     LinearWithGradAccumulationAndAsyncCommunication).
+//   - StrategyDDP replicates the weights and shards the batch; every
+//     weight gradient needs a cross-device AllReduce, which
+//     core.Options.GradBucketBytes groups into buckets lowered directly
+//     to ring form so early buckets communicate while later layers'
+//     backward einsums still compute (DDP-style bucketed overlap).
+//
+// Programs are ordinary hlo.Computations: the overlap pipeline, the
+// autotuner, the goroutine runtime, the interpreter, and the serving
+// daemon all apply unchanged, and the bitwise cross-check against
+// sim.Interpret remains the invariant.
+package train
+
+import (
+	"fmt"
+
+	"overlap/internal/grad"
+	"overlap/internal/hlo"
+	"overlap/internal/models"
+	"overlap/internal/partition"
+	"overlap/internal/topology"
+)
+
+// Strategy selects how the training step is partitioned.
+type Strategy int
+
+const (
+	// StrategyMegatron: weights sharded row-wise on the ring, gathered
+	// forward, reduce-scattered backward (tensor-parallel/ZeRO flavor).
+	StrategyMegatron Strategy = iota
+	// StrategyDDP: weights replicated, batch sharded, per-weight
+	// gradient AllReduces (data-parallel flavor).
+	StrategyDDP
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyMegatron:
+		return "megatron"
+	default:
+		return "ddp"
+	}
+}
+
+// ParseStrategy maps a CLI/JSON name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "megatron", "":
+		return StrategyMegatron, nil
+	case "ddp":
+		return StrategyDDP, nil
+	default:
+		return 0, fmt.Errorf("train: unknown strategy %q (want megatron or ddp)", name)
+	}
+}
+
+// Config describes one training-step program: an L-layer linear MLP
+// y = x·W1·W2·…, squared-error loss against a target, SGD update.
+type Config struct {
+	// Devices is the ring size.
+	Devices int
+	// Layers is the number of (W1, W2) FFN blocks.
+	Layers int
+	// Model and Hidden are the global model and FFN dimensions; Tokens
+	// the global token count. All three must divide by Devices.
+	Model, Hidden, Tokens int
+	// Strategy selects the partitioning.
+	Strategy Strategy
+}
+
+// FromModel miniaturizes a Table 1/2 configuration into a training
+// Config: dimensions come from models.Miniature so the tensors stay
+// executable, while Layers restores a multi-layer backward pass (the
+// miniature itself is single-layer).
+func FromModel(cfg models.Config, devices, dim, layers int, strategy Strategy) (Config, error) {
+	mini, err := models.Miniature(cfg, devices, dim)
+	if err != nil {
+		return Config{}, err
+	}
+	if layers < 1 {
+		layers = 1
+	}
+	out := Config{
+		Devices:  devices,
+		Layers:   layers,
+		Model:    mini.ModelDim,
+		Hidden:   mini.FFDim,
+		Tokens:   mini.Tokens(),
+		Strategy: strategy,
+	}
+	return out, out.Validate()
+}
+
+// Validate rejects configurations whose sharding would not divide.
+func (cfg Config) Validate() error {
+	if cfg.Devices < 1 || cfg.Layers < 1 {
+		return fmt.Errorf("train: need at least one device and one layer")
+	}
+	if cfg.Model < 1 || cfg.Hidden < 1 || cfg.Tokens < 1 {
+		return fmt.Errorf("train: dimensions must be positive")
+	}
+	for _, dim := range []struct {
+		name string
+		n    int
+	}{{"model", cfg.Model}, {"hidden", cfg.Hidden}, {"tokens", cfg.Tokens}} {
+		if dim.n%cfg.Devices != 0 {
+			return fmt.Errorf("train: %s dim %d does not divide by %d devices", dim.name, dim.n, cfg.Devices)
+		}
+	}
+	return nil
+}
+
+// NumWeights is the weight-matrix count: two per layer.
+func (cfg Config) NumWeights() int { return 2 * cfg.Layers }
+
+// Parameter-order constants for a built Program. Weights follow at
+// index ParamWeight0 + i in build order (w1.0, w2.0, w1.1, …).
+const (
+	ParamX       = 0 // activations, token-sharded [tokens/N, model]
+	ParamNegY    = 1 // negated targets, token-sharded (the graph has Add, not Sub)
+	ParamSeed    = 2 // loss-cotangent seed, scalar 1
+	ParamNegLR   = 3 // negated learning rate, scalar (update is w + (-lr)·g)
+	ParamWeight0 = 4
+)
+
+// Program is a built training-step computation plus the metadata needed
+// to feed and read it. The root is a positional tuple:
+//
+//	[0]               per-device partial loss (host sums across devices)
+//	[1 … W]           updated weights, build order
+//	[W+1 … 2W]        gradients, build order
+//
+// Positions survive the overlap pipeline (rewrites replace operands in
+// place) and Format/Parse round-trips, so the executor, the serving
+// daemon, and a decoded Plan artifact all agree on the layout.
+type Program struct {
+	Comp   *hlo.Computation
+	Config Config
+	// WeightLocal[i] is weight i's per-device parameter shape.
+	WeightLocal [][]int
+	// WeightGlobal[i] is weight i's logical shape.
+	WeightGlobal [][]int
+}
+
+// RootLoss returns the per-device partial-loss root operand.
+func (p *Program) RootLoss() *hlo.Instruction { return p.Comp.Root().Operands[0] }
+
+// RootWeight returns updated weight i's root operand.
+func (p *Program) RootWeight(i int) *hlo.Instruction { return p.Comp.Root().Operands[1+i] }
+
+// RootGrad returns gradient i's root operand.
+func (p *Program) RootGrad(i int) *hlo.Instruction {
+	return p.Comp.Root().Operands[1+p.Config.NumWeights()+i]
+}
+
+// Build constructs the fwd+bwd+update program for cfg: the forward pass
+// through partition.Builder (which inserts the strategy's collectives),
+// the backward pass through grad.Append (which transposes them), and a
+// plain SGD update w' = w + (-lr)·g appended by hand.
+func Build(cfg Config) (*Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mesh := topology.NewTorus2D(1, cfg.Devices)
+	const axis = 1 // the ring, matching models.Miniature's 1×N mesh
+	b := partition.NewBuilder(fmt.Sprintf("train-%s-l%d", cfg.Strategy, cfg.Layers), mesh)
+	c := b.Comp
+
+	d, f, e := cfg.Model, cfg.Hidden, cfg.Tokens
+	tokens := partition.OnDim(2, 0, axis)
+	x := b.Parameter("x", []int{e, d}, tokens)
+	negy := b.Parameter("negy", []int{e, d}, tokens)
+	seed := b.Parameter("seed", []int{}, partition.ReplicatedSharding(0))
+	neglr := b.Parameter("neglr", []int{}, partition.ReplicatedSharding(0))
+
+	prog := &Program{Comp: c, Config: cfg}
+	var weights []*partition.Value
+	act := x
+	for l := 0; l < cfg.Layers; l++ {
+		var w1, w2 *partition.Value
+		if cfg.Strategy == StrategyMegatron {
+			// Row-sharded weights: the forward gather is the collective
+			// whose adjoint is the backward ReduceScatter, and the
+			// reduce-scattered gradient lands exactly on the local shard
+			// the SGD update writes (a ZeRO-style sharded update).
+			rows := partition.OnDim(2, 0, axis)
+			w1 = b.Parameter(fmt.Sprintf("w1.%d", l), []int{d, f}, rows)
+			w2 = b.Parameter(fmt.Sprintf("w2.%d", l), []int{f, d}, rows)
+			h := b.Einsum("ed,df->ef", act, b.AllGather(w1, 0))
+			act = b.Einsum("ef,fd->ed", h, b.AllGather(w2, 0))
+		} else {
+			rep := partition.ReplicatedSharding(2)
+			w1 = b.Parameter(fmt.Sprintf("w1.%d", l), []int{d, f}, rep)
+			w2 = b.Parameter(fmt.Sprintf("w2.%d", l), []int{f, d}, rep)
+			h := b.Einsum("ed,df->ef", act, w1)
+			act = b.Einsum("ef,fd->ed", h, w2)
+		}
+		weights = append(weights, w1, w2)
+		prog.WeightLocal = append(prog.WeightLocal,
+			append([]int(nil), w1.Instr.Shape...), append([]int(nil), w2.Instr.Shape...))
+		prog.WeightGlobal = append(prog.WeightGlobal, w1.Logical, w2.Logical)
+	}
+
+	// Squared-error loss: diff = act + (-y); loss = Σ diff². Contracting
+	// the token label (sharded on the ring in both operands) leaves the
+	// per-device value a partial sum — the host adds the devices up, so
+	// no collective rides the loss path.
+	diff := b.Add(act, negy)
+	loss := b.Einsum("ed,ed->", diff, diff)
+
+	wrt := make([]*hlo.Instruction, len(weights))
+	for i, w := range weights {
+		wrt[i] = w.Instr
+	}
+	grads, err := grad.Append(c, loss.Instr, seed.Instr, wrt)
+	if err != nil {
+		return nil, err
+	}
+
+	// DDP gradients are per-device partial sums over the local batch;
+	// reduce them across the ring. (Megatron gradients arrive already
+	// reduced: grad.Append transposed each forward AllGather into a
+	// ReduceScatter.) These AllReduces are what GradBucketBytes groups.
+	groups := mesh.AxisGroups(axis)
+	outs := []*hlo.Instruction{loss.Instr}
+	var gradOuts []*hlo.Instruction
+	for i, w := range weights {
+		g := grads[w.Instr]
+		if cfg.Strategy == StrategyDDP {
+			g = c.AllReduce(g, groups)
+			g.Name = fmt.Sprintf("gsum.%d", i)
+		}
+		update := c.Einsum(",ab->ab", neglr.Instr, g)
+		outs = append(outs, c.Add(w.Instr, update))
+		gradOuts = append(gradOuts, g)
+	}
+	outs = append(outs, gradOuts...)
+	c.Tuple(outs...)
+	if err := c.Verify(); err != nil {
+		return nil, fmt.Errorf("train: built program invalid: %w", err)
+	}
+	return prog, nil
+}

@@ -46,6 +46,7 @@ import (
 	"overlap/internal/sim"
 	"overlap/internal/tensor"
 	"overlap/internal/topology"
+	"overlap/internal/train"
 )
 
 // Re-exported core types. The aliases keep one set of definitions while
@@ -112,6 +113,19 @@ type (
 	ServerConfig = serve.Config
 	// Server is the long-running compile/tune/run daemon (cmd/overlapd).
 	Server = serve.Server
+	// TrainConfig describes one training-step program (devices, layers,
+	// dimensions, partitioning strategy).
+	TrainConfig = train.Config
+	// TrainStrategy selects the training partitioning (Megatron / DDP).
+	TrainStrategy = train.Strategy
+	// TrainOptions configures a multi-step training run.
+	TrainOptions = train.Options
+	// TrainResult is a completed training run: per-step losses, bitwise
+	// gradient digests, and the final step's overlap attribution.
+	TrainResult = train.Result
+	// TrainProgram is a built fwd+bwd+update computation plus the
+	// metadata needed to feed and read it.
+	TrainProgram = train.Program
 )
 
 // Scheduler kinds (§5.2).
@@ -119,6 +133,12 @@ const (
 	SchedulerBottomUp = core.SchedulerBottomUp
 	SchedulerTopDown  = core.SchedulerTopDown
 	SchedulerNone     = core.SchedulerNone
+)
+
+// Training partitioning strategies (§2.2's two decomposition sources).
+const (
+	TrainMegatron = train.StrategyMegatron
+	TrainDDP      = train.StrategyDDP
 )
 
 // NewComputation returns an empty SPMD computation.
@@ -274,6 +294,22 @@ func ServeMetrics(addr string) (*http.Server, string, error) { return obs.Serve(
 // computation and returns the gradient instruction for every wrt entry.
 // Forward AllGathers become backward ReduceScatters (and vice versa),
 // so the overlap pipeline applies to the result.
+// Train builds cfg's fwd+bwd+SGD training-step program, optionally
+// applies the overlap pipeline (TrainOptions.Pipeline), and executes
+// the requested number of steps on the goroutine runtime, feeding each
+// step's updated weights into the next.
+func Train(ctx context.Context, cfg TrainConfig, opts TrainOptions) (*TrainResult, error) {
+	return train.Run(ctx, cfg, opts)
+}
+
+// BuildTrainStep constructs cfg's training-step program without running
+// it — the entry point for tuning, compiling, or serving the program.
+func BuildTrainStep(cfg TrainConfig) (*TrainProgram, error) { return train.Build(cfg) }
+
+// ParseTrainStrategy maps a CLI/JSON name ("megatron", "ddp") to a
+// TrainStrategy.
+func ParseTrainStrategy(name string) (TrainStrategy, error) { return train.ParseStrategy(name) }
+
 func Gradients(c *Computation, root, seed *Instruction, wrt []*Instruction) (map[*Instruction]*Instruction, error) {
 	return grad.Append(c, root, seed, wrt)
 }
