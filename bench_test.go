@@ -234,7 +234,7 @@ func BenchmarkRuntimeRolledVsDecomposed(b *testing.B) {
 	args := [][]*tensor.Tensor{shards, {tensor.Rand(rng, k, nn)}}
 	ropts := runtime.Options{Spec: machine.TPUv4(), TimeScale: 30000}
 
-	bench := func(b *testing.B, opts core.Options) {
+	bench := func(b *testing.B, opts core.Options, ropts runtime.Options) {
 		c := build()
 		if _, err := core.Apply(c, opts); err != nil {
 			b.Fatal(err)
@@ -252,12 +252,12 @@ func BenchmarkRuntimeRolledVsDecomposed(b *testing.B) {
 	}
 
 	b.Run("rolled", func(b *testing.B) {
-		bench(b, core.Options{Spec: machine.TPUv4(), Rolled: true, UseCostModel: false, Scheduler: core.SchedulerNone})
+		bench(b, core.Options{Spec: machine.TPUv4(), Rolled: true, UseCostModel: false, Scheduler: core.SchedulerNone}, ropts)
 	})
 	b.Run("decomposed", func(b *testing.B) {
 		opts := core.DefaultOptions(machine.TPUv4())
 		opts.UseCostModel = false
-		bench(b, opts)
+		bench(b, opts, ropts)
 	})
 	// The decomposed case again with telemetry recording disabled: the
 	// step-ms gap between this and "decomposed" bounds the metrics
@@ -267,7 +267,18 @@ func BenchmarkRuntimeRolledVsDecomposed(b *testing.B) {
 		defer obs.Default().SetEnabled(true)
 		opts := core.DefaultOptions(machine.TPUv4())
 		opts.UseCostModel = false
-		bench(b, opts)
+		bench(b, opts, ropts)
+	})
+	// The decomposed case with per-instruction trace recording on — the
+	// events every RunTrace artifact is built from. The step-ms gap
+	// between this and "decomposed" bounds trace recording's overhead on
+	// the runtime hot path (budget: < 5%, same bar as -noinstr).
+	b.Run("decomposed-traced", func(b *testing.B) {
+		opts := core.DefaultOptions(machine.TPUv4())
+		opts.UseCostModel = false
+		traced := ropts
+		traced.Trace = true
+		bench(b, opts, traced)
 	})
 }
 

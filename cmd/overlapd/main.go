@@ -13,6 +13,10 @@
 //	POST /v1/compile  return the compiled Plan artifact (same JSON as
 //	                  overlaptune -plan-out / overlaprun -plan-in)
 //	GET  /v1/plans    list cached plan fingerprints
+//	GET  /v1/runs     flight recorder: recent + kept (slowest/failed)
+//	                  run traces, newest first
+//	GET  /v1/runs/ID  one run's full trace artifact
+//	                  (?format=json|chrome)
 //	GET  /metrics     live Prometheus telemetry (overlap_serve_* et al)
 //	GET  /healthz     liveness
 //
@@ -21,15 +25,20 @@
 //	overlapd -addr :8080
 //	curl -s localhost:8080/v1/run -d '{"model":"GPT_32B","devices":4,"dim":4}'
 //	overlapd -addr :8080 -debug-faults   # allow fault-injection requests
+//	overlapd -addr :8080 -debug-addr localhost:6060   # net/http/pprof on a separate port
 //
-// SIGINT/SIGTERM drain gracefully: in-flight requests finish, then the
-// process exits 0.
+// Structured JSON logs (one object per line, "run_id"-keyed) go to
+// stderr. SIGINT/SIGTERM drain gracefully: in-flight requests finish,
+// then the process exits 0.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,28 +61,52 @@ func main() {
 	runScale := flag.Float64("run-timescale", 50, "wire-delay scale of served runs (negative disables injection)")
 	deadline := flag.Duration("default-deadline", 60*time.Second, "run deadline when the request carries none")
 	debugFaults := flag.Bool("debug-faults", false, "allow requests to inject deterministic faults (chaos testing)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof at this address on a separate mux (never on the serving port); empty disables")
+	flightSize := flag.Int("flight-size", 64, "flight recorder: ring capacity of recent run traces served at /v1/runs")
+	flightKeep := flag.Int("flight-keep", 8, "flight recorder: slowest/failed runs kept beyond the ring")
+	traceDir := flag.String("trace-dir", "", "additionally write every recorded run trace to <dir>/<run-id>.json")
 	kernelWorkers := flag.Int("kernel-workers", 0, "intra-op einsum kernel parallelism (0 = GOMAXPROCS); keyed into every plan fingerprint")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
 	overlap.SetKernelWorkers(*kernelWorkers)
+	// Structured logs to stderr: one JSON object per line, every line of
+	// a run's story carrying its run_id.
+	overlap.SetLogOutput(os.Stderr)
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
 
 	srv, err := overlap.NewServer(overlap.ServerConfig{
-		MaxBatch:          *maxBatch,
-		MaxWait:           *maxWait,
-		InboxSize:         *inbox,
-		MaxConcurrentRuns: *maxRuns,
-		PlanCacheSize:     *planCache,
-		CachePath:         *cachePath,
-		DisableDiskCache:  *noCache,
-		TuneTopK:          *tuneTopK,
-		TuneTimeScale:     *tuneScale,
-		RunTimeScale:      *runScale,
-		DefaultDeadline:   *deadline,
-		DebugFaults:       *debugFaults,
+		MaxBatch:           *maxBatch,
+		MaxWait:            *maxWait,
+		InboxSize:          *inbox,
+		MaxConcurrentRuns:  *maxRuns,
+		PlanCacheSize:      *planCache,
+		CachePath:          *cachePath,
+		DisableDiskCache:   *noCache,
+		TuneTopK:           *tuneTopK,
+		TuneTimeScale:      *tuneScale,
+		RunTimeScale:       *runScale,
+		DefaultDeadline:    *deadline,
+		DebugFaults:        *debugFaults,
+		FlightRecorderSize: *flightSize,
+		FlightKeep:         *flightKeep,
+		TraceDir:           *traceDir,
 	})
 	if err != nil {
 		fail(err)
+	}
+
+	if *debugAddr != "" {
+		addr, err := startDebugServer(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("overlapd: pprof at http://%s/debug/pprof/ (debug mux, not on the serving port)\n", addr)
 	}
 
 	bound, err := srv.Start(*addr)
@@ -97,6 +130,25 @@ func main() {
 		fail(fmt.Errorf("shutdown: %w", err))
 	}
 	fmt.Println("overlapd: drained; bye")
+}
+
+// startDebugServer exposes net/http/pprof on its own mux and listener.
+// The serving mux never registers these handlers, so the profiling
+// surface exists only when (and where) the operator asks for it.
+func startDebugServer(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
 }
 
 func fail(err error) {

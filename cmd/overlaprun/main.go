@@ -34,7 +34,6 @@ import (
 	"overlap"
 	"overlap/internal/core"
 	"overlap/internal/models"
-	"overlap/internal/sim"
 	"overlap/internal/tensor"
 )
 
@@ -45,6 +44,7 @@ func main() {
 	mode := flag.String("mode", "all", "baseline, rolled, overlap, or all")
 	timeScale := flag.Float64("timescale", 2000, "wire-delay scale: modeled seconds sleep this many times longer")
 	traceFile := flag.String("trace", "", "write the overlap mode's Chrome trace to this file")
+	traceOut := flag.String("trace-out", "", "write the overlap mode's run-scoped trace artifact (RunTrace JSON: spans with attribution verdicts, readable by traceviz -trace-in) to this file")
 	check := flag.Bool("check", false, "cross-check runtime outputs against the lockstep interpreter")
 	attrib := flag.Bool("attrib", false, "print the per-collective overlap attribution of each mode")
 	metricsOut := flag.String("metrics-out", "", "export telemetry to this file (Prometheus text, or JSON with a .json suffix)")
@@ -77,7 +77,7 @@ func main() {
 
 	var runErr error
 	if *planIn != "" {
-		runErr = runPlan(*planIn, *timeScale, *traceFile, *check, *attrib, faults, *deadline)
+		runErr = runPlan(*planIn, *timeScale, *traceFile, *traceOut, *check, *attrib, faults, *deadline)
 	} else {
 		cfg, err := models.ByName(*model)
 		if err != nil {
@@ -95,7 +95,7 @@ func main() {
 			modes = []string{*mode}
 		}
 		for _, m := range modes {
-			if err := runMode(mini, m, *devices, *timeScale, *traceFile, *check, *attrib, faults, *deadline); err != nil {
+			if err := runMode(mini, m, *devices, *timeScale, *traceFile, *traceOut, *check, *attrib, faults, *deadline); err != nil {
 				runErr = err
 				break
 			}
@@ -122,7 +122,7 @@ func main() {
 // runPlan loads a compiled Plan artifact and executes it directly: no
 // model build, no pipeline Apply, no tuning — the round-trip proof that
 // the serialized artifact is self-contained.
-func runPlan(path string, timeScale float64, traceFile string, check, attrib bool, faults *overlap.FaultPlan, deadline time.Duration) error {
+func runPlan(path string, timeScale float64, traceFile, traceOut string, check, attrib bool, faults *overlap.FaultPlan, deadline time.Duration) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -140,7 +140,7 @@ func runPlan(path string, timeScale float64, traceFile string, check, attrib boo
 
 	args := randomArgs(c)
 	ropts := overlap.RunOptions{Spec: overlap.TPUv4(), TimeScale: timeScale, Faults: faults}
-	if traceFile != "" || attrib {
+	if traceFile != "" || traceOut != "" || attrib {
 		ropts.Trace = true
 	}
 	ctx := context.Background()
@@ -171,15 +171,42 @@ func runPlan(path string, timeScale float64, traceFile string, check, attrib boo
 	if attrib {
 		fmt.Print(overlap.Attribute(res.Trace).Render())
 	}
+	if err := writeTraceArtifacts(res, "plan:"+plan.Fingerprint, plan.Devices, traceFile, traceOut); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeTraceArtifacts renders a run's RunTrace artifact — the one code
+// path both exports share — writing the stable JSON to traceOut and the
+// Chrome trace to traceFile when requested.
+func writeTraceArtifacts(res *overlap.RunResult, model string, devices int, traceFile, traceOut string) error {
+	if traceFile == "" && traceOut == "" {
+		return nil
+	}
+	trace := overlap.NewRunTrace(res.RunID, "run", res.Trace)
+	trace.Model = model
+	trace.Devices = devices
+	trace.StepMS = res.Breakdown.StepTime * 1e3
+	if traceOut != "" {
+		data, err := trace.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(traceOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("          wrote run trace %s to %s\n", trace.ID, traceOut)
+	}
 	if traceFile != "" {
-		data, err := sim.TraceJSON(res.Trace)
+		data, err := trace.ChromeTrace()
 		if err != nil {
 			return err
 		}
 		if err := os.WriteFile(traceFile, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("          wrote %d trace events to %s\n", len(res.Trace), traceFile)
+		fmt.Printf("          wrote %d trace events to %s (run %s)\n", len(res.Trace), traceFile, trace.ID)
 	}
 	return nil
 }
@@ -187,7 +214,7 @@ func runPlan(path string, timeScale float64, traceFile string, check, attrib boo
 // runMode builds the miniature layer graph, applies the pipeline the
 // mode names, executes it on the runtime, and prints the measured
 // breakdown (plus, with -attrib, where each collective's wire time hid).
-func runMode(cfg models.Config, mode string, devices int, timeScale float64, traceFile string, check, attrib bool, faults *overlap.FaultPlan, deadline time.Duration) error {
+func runMode(cfg models.Config, mode string, devices int, timeScale float64, traceFile, traceOut string, check, attrib bool, faults *overlap.FaultPlan, deadline time.Duration) error {
 	c, err := overlap.BuildLayerStep(cfg)
 	if err != nil {
 		return err
@@ -215,8 +242,10 @@ func runMode(cfg models.Config, mode string, devices int, timeScale float64, tra
 
 	args := randomArgs(c)
 	ropts := overlap.RunOptions{Spec: spec, TimeScale: timeScale, Faults: faults}
-	writeTrace := traceFile != "" && mode == "overlap"
-	if writeTrace || attrib {
+	overlapMode := mode == "overlap"
+	writeTrace := traceFile != "" && overlapMode
+	writeArtifact := traceOut != "" && overlapMode
+	if writeTrace || writeArtifact || attrib {
 		ropts.Trace = true
 	}
 	ctx := context.Background()
@@ -250,15 +279,15 @@ func runMode(cfg models.Config, mode string, devices int, timeScale float64, tra
 	if attrib {
 		fmt.Print(overlap.Attribute(res.Trace).Render())
 	}
+	chromeOut, artifactOut := "", ""
 	if writeTrace {
-		data, err := sim.TraceJSON(res.Trace)
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(traceFile, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("          wrote %d trace events to %s\n", len(res.Trace), traceFile)
+		chromeOut = traceFile
+	}
+	if writeArtifact {
+		artifactOut = traceOut
+	}
+	if err := writeTraceArtifacts(res, cfg.Name, devices, chromeOut, artifactOut); err != nil {
+		return err
 	}
 	return nil
 }

@@ -56,6 +56,7 @@ func main() {
 	check := flag.Bool("check", false, "cross-check every step bitwise against the lockstep interpreter")
 	attrib := flag.Bool("attrib", false, "print the final step's per-bucket/per-collective overlap attribution")
 	jsonOut := flag.String("json", "", "write the machine-readable benchmark snapshot (BENCH_train.json schema) to this file")
+	traceOut := flag.String("trace-out", "", "write the overlap mode's final-step run trace artifact (RunTrace JSON, readable by traceviz -trace-in) to this file")
 	metricsOut := flag.String("metrics-out", "", "export telemetry to this file (Prometheus text, or JSON with a .json suffix)")
 	kernelWorkers := flag.Int("kernel-workers", 0, "intra-op einsum kernel parallelism (0 = GOMAXPROCS); results are byte-identical for any value")
 	faultSpec := flag.String("fault", "", "inject faults, comma-separated: crash:dev:D[:K], drop:link:S-D[:K], dup:link:S-D[:K], delay:link:S-D:DUR[:JITTER]")
@@ -99,6 +100,7 @@ func main() {
 		Strategy: cfg.Strategy.String(), Steps: *steps, TimeScale: *timeScale,
 	}
 	var runErr error
+	var lastTrace *overlap.RunTrace
 	for _, m := range modes {
 		res, err := runMode(cfg, m, strat, *steps, *lr, *seed, *bucketBytes, *timeScale, *check, *attrib, faults, *deadline)
 		if err != nil {
@@ -106,6 +108,21 @@ func main() {
 			break
 		}
 		out.Modes = append(out.Modes, benchMode{Name: m, Result: res})
+		if res.Trace != nil && (m == "overlap" || lastTrace == nil) {
+			lastTrace = res.Trace
+			lastTrace.Model = *model
+		}
+	}
+
+	if *traceOut != "" && lastTrace != nil {
+		data, err := lastTrace.EncodeJSON()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote run trace %s to %s\n", lastTrace.ID, *traceOut)
 	}
 
 	// Telemetry and the JSON snapshot are written even when a run

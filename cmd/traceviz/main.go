@@ -17,6 +17,8 @@
 //	traceviz -model GPT_32B -overlap -run # measured on goroutine devices
 //	traceviz -model GPT_32B -overlap -attrib   # per-collective attribution table
 //	traceviz -model GPT_32B -link-gbs 200      # machine-spec override
+//	traceviz -trace-in run.json                # render a recorded RunTrace artifact
+//	                                           # (overlaprun -trace-out / overlapd /v1/runs/{id})
 package main
 
 import (
@@ -42,7 +44,15 @@ func main() {
 	attrib := flag.Bool("attrib", false, "print the per-collective overlap attribution under the timeline")
 	linkGBs := flag.Float64("link-gbs", 0, "override per-direction link bandwidth (GB/s, 4-byte-element equivalent)")
 	peakTF := flag.Float64("peak-tflops", 0, "override per-chip peak TFLOP/s")
+	traceIn := flag.String("trace-in", "", "render a recorded RunTrace artifact (from overlaprun/overlaptrain -trace-out or overlapd /v1/runs/{id}) instead of building a model")
 	flag.Parse()
+
+	if *traceIn != "" {
+		if err := renderArtifact(*traceIn, *width, *attrib); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	spec := overlap.TPUv4()
 	if *linkGBs != 0 {
@@ -107,6 +117,49 @@ func main() {
 	if *attrib {
 		fmt.Print(overlap.Attribute(events).Render())
 	}
+}
+
+// renderArtifact reads a serialized RunTrace and renders it through the
+// same timeline view: the artifact's spans convert back onto the
+// Chrome-trace tracks the renderer reads, its embedded attribution and
+// verdicts print without re-analysis.
+func renderArtifact(path string, width int, attrib bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	trace, err := overlap.DecodeRunTrace(data)
+	if err != nil {
+		return err
+	}
+	events := make([]overlap.TraceEvent, 0, len(trace.Spans))
+	for _, s := range trace.Spans {
+		events = append(events, overlap.TraceEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: s.StartMS * 1e3, Dur: s.DurMS * 1e3,
+			PID: s.Device, TID: s.Track,
+		})
+	}
+	header := fmt.Sprintf("run %s (%s, %s)", trace.ID, trace.Scenario, trace.Status)
+	if trace.Model != "" {
+		header += ", model " + trace.Model
+	}
+	if trace.StepMS > 0 {
+		header += fmt.Sprintf(": %.3f ms step", trace.StepMS)
+	}
+	fmt.Println(header)
+	if trace.Error != nil {
+		fmt.Printf("failed: device %d %s (phase %s): %s\n",
+			trace.Error.Device, trace.Error.Instruction, trace.Error.Phase, trace.Error.Cause)
+	}
+	for _, st := range trace.Stages {
+		fmt.Printf("stage %-10s %8.3f ms\n", st.Name, st.DurMS)
+	}
+	fmt.Print(sim.RenderTimeline(events, width))
+	if attrib && trace.Attribution != nil {
+		fmt.Print(trace.Attribution.Render())
+	}
+	return nil
 }
 
 // randomArgs supplies one replicated random tensor per parameter, the

@@ -34,6 +34,7 @@ import (
 	"overlap/internal/core"
 	"overlap/internal/hlo"
 	"overlap/internal/machine"
+	"overlap/internal/obs"
 	"overlap/internal/runtime"
 	"overlap/internal/sim"
 	"overlap/internal/tensor"
@@ -70,6 +71,12 @@ type Options struct {
 	// Calibrate fits the machine spec to the measured breakdowns and
 	// reports the residual (Result.Calibration, Result.Residual).
 	Calibrate bool
+
+	// RunID correlates the tune with the caller's run-scoped telemetry:
+	// candidate executions run under "<RunID>.<candidate>.r<repeat>"
+	// (the warmup under "<RunID>.warmup") and structured logs carry it.
+	// Empty mints a fresh obs.NewRunID.
+	RunID string
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +166,11 @@ type Result struct {
 	Calibration    machine.Calibration
 	CalibratedSpec machine.Spec
 	Residual       float64
+
+	// RunID is the tune's run identity (Options.RunID or freshly
+	// minted), the key its structured logs and candidate executions
+	// correlate under.
+	RunID string
 }
 
 // ApplyBest applies the winning configuration to c in place; when the
@@ -193,11 +205,15 @@ func Tune(c *hlo.Computation, numDevices int, args [][]*tensor.Tensor, opts Opti
 		return nil, err
 	}
 
+	if opts.RunID == "" {
+		opts.RunID = obs.NewRunID()
+	}
 	res := &Result{
 		Fingerprint:    cacheKey(c, opts.Spec, numDevices),
 		Calibration:    machine.Identity(),
 		CalibratedSpec: opts.Spec,
 		Residual:       -1,
+		RunID:          opts.RunID,
 	}
 
 	atTunes.Inc()
@@ -208,6 +224,8 @@ func Tune(c *hlo.Computation, numDevices int, args [][]*tensor.Tensor, opts Opti
 		if entry, ok := cacheLookup(res.CachePath, res.Fingerprint); ok {
 			atCacheHits.Inc()
 			entry.fill(res, opts.Spec)
+			obs.Log().Info("autotune.tune", "run_id", res.RunID,
+				"fingerprint", res.Fingerprint, "cache_hit", true, "best", res.BestName)
 			return res, nil
 		}
 	}
@@ -237,6 +255,9 @@ func Tune(c *hlo.Computation, numDevices int, args [][]*tensor.Tensor, opts Opti
 			return nil, fmt.Errorf("autotune: storing decision: %w", err)
 		}
 	}
+	obs.Log().Info("autotune.tune", "run_id", res.RunID,
+		"fingerprint", res.Fingerprint, "cache_hit", false,
+		"best", res.BestName, "executions", res.Executions)
 	return res, nil
 }
 
@@ -346,6 +367,7 @@ func stage2(res *Result, c *hlo.Computation, numDevices int, args [][]*tensor.Te
 	// One untimed warmup run: the first execution in a process pays for
 	// thread-pool and allocator spin-up that would otherwise be charged
 	// to whichever candidate happens to run first.
+	ropts.RunID = opts.RunID + ".warmup"
 	if warm, err := runtime.Run(res.Candidates[toRun[0]].transformed, numDevices, args, ropts); err == nil && warm != nil {
 		res.Executions++
 	}
@@ -358,6 +380,7 @@ func stage2(res *Result, c *hlo.Computation, numDevices int, args [][]*tensor.Te
 			return fmt.Errorf("autotune: interpreting %s: %w", cand.Name, err)
 		}
 		for r := 0; r < opts.Repeats; r++ {
+			ropts.RunID = fmt.Sprintf("%s.%s.r%d", opts.RunID, cand.Name, r)
 			run, err := runtime.Run(cand.transformed, numDevices, args, ropts)
 			if err != nil {
 				return fmt.Errorf("autotune: executing %s: %w", cand.Name, err)

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// The process-wide structured logger. Every subsystem that executes a
+// run (serve, train, autotune, the runtime's failure path) logs through
+// Log() with the run's ID as a "run_id" attribute, so a single grep of
+// the JSON log stream reconstructs any run's story — and correlates it
+// with the flight-recorder trace of the same ID. Until a sink is
+// installed records are discarded, which keeps library users and tests
+// silent by default; the daemon and CLIs opt in via SetLogOutput.
+var logPtr atomic.Pointer[slog.Logger]
+
+func init() {
+	logPtr.Store(slog.New(slog.NewJSONHandler(io.Discard, nil)))
+}
+
+// Log returns the process-wide structured logger.
+func Log() *slog.Logger { return logPtr.Load() }
+
+// SetLogOutput directs the process-wide logger at w as JSON lines (one
+// object per record, "run_id" keyed where a run is involved). Pass
+// io.Discard to silence it again.
+func SetLogOutput(w io.Writer) {
+	logPtr.Store(slog.New(slog.NewJSONHandler(w, nil)))
+}

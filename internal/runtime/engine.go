@@ -2,12 +2,14 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"overlap/internal/hlo"
+	"overlap/internal/obs"
 	"overlap/internal/sim"
 	"overlap/internal/tensor"
 )
@@ -53,12 +55,18 @@ func newEngine(c *hlo.Computation, numDevices int, opts Options) *engine {
 
 // fail records the first error and releases every blocked goroutine.
 // Everything that can stop a run funnels through here, so the error the
-// caller sees is always the first failure, never a cascade effect.
+// caller sees is always the first failure, never a cascade effect —
+// and always carries the run's ID for correlation.
 func (e *engine) fail(err error) {
 	e.once.Do(func() {
+		var re *RunError
+		if errors.As(err, &re) && re.RunID == "" {
+			re.RunID = e.opts.RunID
+		}
 		e.err = err
 		e.failedAt = time.Now()
 		rtAborts.Inc()
+		obs.Log().Error("runtime.abort", "run_id", e.opts.RunID, "error", err.Error())
 		close(e.abort)
 	})
 }
@@ -195,7 +203,8 @@ func (e *engine) deadlineError(cause error) *RunError {
 // all device- and link-local state is safely visible.
 func (e *engine) assemble(devices []*device) *Result {
 	res := &Result{
-		All: make(map[*hlo.Instruction][]*tensor.Tensor, e.comp.NumInstructions()),
+		RunID: e.opts.RunID,
+		All:   make(map[*hlo.Instruction][]*tensor.Tensor, e.comp.NumInstructions()),
 	}
 	for _, in := range e.comp.Instructions() {
 		per := make([]*tensor.Tensor, e.n)

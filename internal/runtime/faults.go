@@ -37,6 +37,11 @@ type RunError struct {
 	Elapsed time.Duration
 	Fault   string
 	Err     error
+
+	// RunID is the failed execution's run identity, stamped by the
+	// engine when the run aborts so the failure correlates with the
+	// run's trace and structured logs.
+	RunID string
 }
 
 func (e *RunError) Error() string {
@@ -57,6 +62,9 @@ func (e *RunError) Error() string {
 	}
 	if e.Fault != "" {
 		fmt.Fprintf(&b, " [injected: %s]", e.Fault)
+	}
+	if e.RunID != "" {
+		fmt.Fprintf(&b, " [run %s]", e.RunID)
 	}
 	return b.String()
 }
@@ -79,7 +87,8 @@ func (e *RunError) MarshalJSON() ([]byte, error) {
 		ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 		Fault     string  `json:"fault,omitempty"`
 		Cause     string  `json:"cause"`
-	}{e.Device, e.Instr, e.Phase, float64(e.Elapsed) / float64(time.Millisecond), e.Fault, cause})
+		RunID     string  `json:"run_id,omitempty"`
+	}{e.Device, e.Instr, e.Phase, float64(e.Elapsed) / float64(time.Millisecond), e.Fault, cause, e.RunID})
 }
 
 // Sentinel causes for injected faults, exposed so tests can assert on

@@ -31,6 +31,7 @@ import (
 
 	"overlap/internal/hlo"
 	"overlap/internal/machine"
+	"overlap/internal/obs"
 	"overlap/internal/sim"
 	"overlap/internal/tensor"
 )
@@ -63,6 +64,12 @@ type Options struct {
 	// pair drop/delay plans with RunContext so a stalled transfer is
 	// bounded by a deadline.
 	Faults *FaultPlan
+
+	// RunID correlates this execution with the caller's run-scoped
+	// telemetry: it is echoed in Result.RunID and stamped into any
+	// *RunError the run fails with, so traces, structured logs, and
+	// failures all share one key. Empty mints a fresh obs.NewRunID.
+	RunID string
 }
 
 // DefaultOptions returns options that inject wire delays from spec at a
@@ -79,6 +86,10 @@ func DefaultOptions(spec machine.Spec) Options {
 
 // Result is what one concurrent execution produced and measured.
 type Result struct {
+	// RunID is the execution's run identity (Options.RunID, or the
+	// freshly minted one when the caller supplied none).
+	RunID string
+
 	// Values is the root instruction's value on each device.
 	Values []*tensor.Tensor
 
@@ -119,6 +130,9 @@ func RunContext(ctx context.Context, c *hlo.Computation, numDevices int, args []
 	}
 	if err := opts.Faults.validate(numDevices); err != nil {
 		return nil, err
+	}
+	if opts.RunID == "" {
+		opts.RunID = obs.NewRunID()
 	}
 	eng := newEngine(c, numDevices, opts)
 	return eng.run(ctx, args)

@@ -41,4 +41,11 @@ var (
 		"Time from flush to plan availability (zero-ish on cache hits).", obs.TimeBuckets())
 	svRunSeconds = obs.Default().Histogram("overlap_serve_run_seconds",
 		"Wall-clock of the runtime execution phase of served runs.", obs.TimeBuckets())
+	svFailedRunSeconds = obs.Default().Histogram("overlap_serve_failed_run_seconds",
+		"End-to-end latency of served runs that failed (queue + plan + admission + run until abort).",
+		obs.TimeBuckets())
+	svTracesRecorded = obs.Default().Counter("overlap_serve_traces_recorded_total",
+		"Run traces recorded into the flight recorder.")
+	svTraceEvictions = obs.Default().Counter("overlap_serve_trace_evictions_total",
+		"Run traces dropped when the flight-recorder ring wrapped (kept-set survivors excluded).")
 )

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"overlap/internal/obs"
+)
+
+// flightRecorder is the daemon's bounded in-memory trace store: the
+// last N runs in a ring, plus a kept set of the K most interesting runs
+// (slowest or failed) that survive ring wraparound. The answer to "show
+// me the trace of the slow run from 30 seconds ago" without unbounded
+// memory: steady-state traffic cycles through the ring, while the runs
+// an operator actually asks about — the outliers and the failures —
+// stay addressable until something more interesting displaces them.
+type flightRecorder struct {
+	mu   sync.Mutex
+	size int // ring capacity
+	keep int // kept-set capacity
+
+	seq     int64
+	ring    []string // run IDs, oldest first once full (circular via next)
+	next    int
+	entries map[string]*recordedRun
+	kept    map[string]struct{}
+}
+
+// recordedRun is one stored trace with its recording order and its
+// keep-worthiness score.
+type recordedRun struct {
+	seq   int64
+	score float64
+	trace *obs.RunTrace
+}
+
+// keepScore ranks how much a trace deserves to outlive the ring:
+// failures always outrank successes (a crashed run is the one the
+// operator greps for), and among equals, slower runs win.
+func keepScore(t *obs.RunTrace) float64 {
+	s := t.TotalMS
+	if t.StepMS > s {
+		s = t.StepMS
+	}
+	if t.Status == obs.StatusFailed {
+		s += 1e12
+	}
+	return s
+}
+
+func newFlightRecorder(size, keep int) *flightRecorder {
+	return &flightRecorder{
+		size:    size,
+		keep:    keep,
+		ring:    make([]string, 0, size),
+		entries: make(map[string]*recordedRun),
+		kept:    make(map[string]struct{}),
+	}
+}
+
+// record stores one run's trace. When the ring wraps, the overwritten
+// run either moves to the kept set (it outranks the weakest keeper, or
+// a keep slot is free) or is evicted for good — eviction is counted in
+// svTraceEvictions so memory pressure is visible in /metrics.
+func (fr *flightRecorder) record(t *obs.RunTrace) {
+	if t == nil || t.ID == "" {
+		return
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+
+	fr.seq++
+	entry := &recordedRun{seq: fr.seq, score: keepScore(t), trace: t}
+
+	if old, dup := fr.entries[t.ID]; dup {
+		// Same ID recorded twice (caller retry): replace in place, the
+		// ring slot it already occupies stays valid.
+		entry.seq = old.seq
+		fr.entries[t.ID] = entry
+		svTracesRecorded.Inc()
+		return
+	}
+
+	if len(fr.ring) < fr.size {
+		fr.ring = append(fr.ring, t.ID)
+	} else {
+		victim := fr.ring[fr.next]
+		fr.ring[fr.next] = t.ID
+		fr.next = (fr.next + 1) % fr.size
+		fr.retire(victim)
+	}
+	fr.entries[t.ID] = entry
+	svTracesRecorded.Inc()
+}
+
+// retire decides a ring-overwritten run's fate: kept or evicted.
+// Called with fr.mu held.
+func (fr *flightRecorder) retire(id string) {
+	e, ok := fr.entries[id]
+	if !ok {
+		return
+	}
+	if fr.keep > 0 && len(fr.kept) < fr.keep {
+		fr.kept[id] = struct{}{}
+		return
+	}
+	// Kept set full: the victim displaces the weakest keeper only when
+	// it is strictly more interesting.
+	weakestID, weakest := "", (*recordedRun)(nil)
+	for kid := range fr.kept {
+		ke := fr.entries[kid]
+		if weakest == nil || ke.score < weakest.score ||
+			(ke.score == weakest.score && ke.seq < weakest.seq) {
+			weakestID, weakest = kid, ke
+		}
+	}
+	if weakest != nil && e.score > weakest.score {
+		delete(fr.kept, weakestID)
+		delete(fr.entries, weakestID)
+		fr.kept[id] = struct{}{}
+	} else {
+		delete(fr.entries, id)
+	}
+	svTraceEvictions.Inc()
+}
+
+// get returns the stored trace for a run ID, nil when unknown (evicted
+// or never recorded).
+func (fr *flightRecorder) get(id string) *obs.RunTrace {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if e, ok := fr.entries[id]; ok {
+		return e.trace
+	}
+	return nil
+}
+
+// RunSummary is one flight-recorder entry as /v1/runs lists it.
+type RunSummary struct {
+	ID       string  `json:"id"`
+	Scenario string  `json:"scenario"`
+	Model    string  `json:"model,omitempty"`
+	Status   string  `json:"status"`
+	Start    string  `json:"start,omitempty"`
+	StepMS   float64 `json:"step_ms,omitempty"`
+	TotalMS  float64 `json:"total_ms,omitempty"`
+	Kept     bool    `json:"kept,omitempty"`
+}
+
+// list returns every recorded run, newest first.
+func (fr *flightRecorder) list() []RunSummary {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	all := make([]*recordedRun, 0, len(fr.entries))
+	for _, e := range fr.entries {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq > all[j].seq })
+	out := make([]RunSummary, 0, len(all))
+	for _, e := range all {
+		t := e.trace
+		_, kept := fr.kept[t.ID]
+		out = append(out, RunSummary{
+			ID:       t.ID,
+			Scenario: t.Scenario,
+			Model:    t.Model,
+			Status:   t.Status,
+			Start:    t.Start,
+			StepMS:   t.StepMS,
+			TotalMS:  t.TotalMS,
+			Kept:     kept,
+		})
+	}
+	return out
+}

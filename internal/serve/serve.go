@@ -38,6 +38,9 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -97,6 +100,17 @@ type Config struct {
 	// such requests are rejected — chaos is an operator decision, not a
 	// caller one.
 	DebugFaults bool
+
+	// FlightRecorderSize bounds the in-memory ring of recent run traces
+	// served at /v1/runs (default 64); FlightKeep bounds the kept set of
+	// slowest/failed runs that survive ring wraparound (default 8).
+	FlightRecorderSize int
+	FlightKeep         int
+
+	// TraceDir, when set, additionally writes every recorded run trace
+	// to <TraceDir>/<run-id>.json — the durable twin of the in-memory
+	// flight recorder.
+	TraceDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +144,12 @@ func (c Config) withDefaults() Config {
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 60 * time.Second
 	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 64
+	}
+	if c.FlightKeep <= 0 {
+		c.FlightKeep = 8
+	}
 	return c
 }
 
@@ -139,6 +159,7 @@ type Server struct {
 	cfg      Config
 	plans    *planCache
 	batch    *batcher
+	recorder *flightRecorder
 	slots    chan struct{} // admission semaphore
 	mux      *http.ServeMux
 	httpSrv  *http.Server
@@ -158,15 +179,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		plans: newPlanCache(cfg.PlanCacheSize),
-		slots: make(chan struct{}, cfg.MaxConcurrentRuns),
+		cfg:      cfg,
+		plans:    newPlanCache(cfg.PlanCacheSize),
+		recorder: newFlightRecorder(cfg.FlightRecorderSize, cfg.FlightKeep),
+		slots:    make(chan struct{}, cfg.MaxConcurrentRuns),
 	}
 	s.batch = newBatcher(s.plans, cfg.InboxSize, cfg.MaxBatch, cfg.MaxWait)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/run", s.guard(s.handleRun))
 	s.mux.HandleFunc("/v1/compile", s.guard(s.handleCompile))
 	s.mux.HandleFunc("/v1/plans", s.guard(s.handlePlans))
+	s.mux.HandleFunc("/v1/runs", s.guard(s.handleRuns))
+	s.mux.HandleFunc("/v1/runs/", s.guard(s.handleRunByID))
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -276,6 +300,10 @@ type Request struct {
 
 // RunResponse is the answer to /v1/run.
 type RunResponse struct {
+	// RunID is this execution's identity: the key its flight-recorder
+	// trace (GET /v1/runs/{id}), structured log lines, and runtime
+	// telemetry all correlate under.
+	RunID       string `json:"run_id"`
 	Fingerprint string `json:"fingerprint"`
 	// Plan is where the plan came from: hit, miss, or coalesced.
 	Plan      string `json:"plan"`
@@ -317,6 +345,9 @@ type errorBody struct {
 	Error       string            `json:"error"`
 	RunError    *runtime.RunError `json:"run_error,omitempty"`
 	Fingerprint string            `json:"fingerprint,omitempty"`
+	// RunID correlates a failed run with its flight-recorder trace and
+	// log lines (set on failures that reached execution).
+	RunID string `json:"run_id,omitempty"`
 }
 
 // handleRun serves POST /v1/run: acquire the plan (cache, coalesced, or
@@ -358,8 +389,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	svInflight.Add(1)
 	defer func() { svInflight.Add(-1); <-s.slots }()
 
+	runID := obs.NewRunID()
 	args := Args(out.plan.comp, req.Seed)
-	ropts := runtime.Options{Spec: s.cfg.Spec, TimeScale: s.runTimeScale(req), Trace: true}
+	ropts := runtime.Options{Spec: s.cfg.Spec, TimeScale: s.runTimeScale(req), Trace: true, RunID: runID}
 	if req.Fault != "" {
 		plan, err := runtime.ParseFaults(req.Fault)
 		if err != nil {
@@ -374,19 +406,43 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	res, err := runtime.RunContext(ctx, out.plan.comp, out.plan.plan.Devices, args, ropts)
 	runDur := time.Since(runStart)
 	svRunSeconds.Observe(runDur.Seconds())
+	timing := TimingMS{
+		Queue:     out.queueWait.Seconds() * 1e3,
+		Plan:      out.planWait.Seconds() * 1e3,
+		Admission: admWait.Seconds() * 1e3,
+		Run:       runDur.Seconds() * 1e3,
+	}
 	if err != nil {
 		// Graceful degradation: a failed run is this request's failure
 		// alone. The structured attribution goes back as JSON, the
 		// daemon keeps serving, and the plan stays cached — it is a
 		// pure function of the fingerprint and a run failure says
-		// nothing about it.
+		// nothing about it. The failure still leaves a trace: its
+		// queue/plan/admission/run breakdown is recorded under the run
+		// ID, and the failed-run latency histogram sees it.
+		timing.Total = time.Since(start).Seconds() * 1e3
+		svFailedRunSeconds.Observe(time.Since(start).Seconds())
 		var re *runtime.RunError
 		if errors.As(err, &re) {
 			svRunErrors.Inc()
+			trace := s.newTrace(runID, req, key, out.plan.plan.Devices, start, timing, nil)
+			trace.SetError(obs.RunTraceError{
+				Device:      re.Device,
+				Instruction: re.Instr,
+				Phase:       string(re.Phase),
+				Fault:       re.Fault,
+				Cause:       re.Error(),
+			})
+			s.record(trace)
+			obs.Log().Error("serve.run", "run_id", runID, "fingerprint", key,
+				"scenario", scenarioLabel(req.Scenario), "status", "failed",
+				"total_ms", timing.Total, "error", re.Error())
 			s.writeJSON(w, http.StatusServiceUnavailable,
-				errorBody{Error: re.Error(), RunError: re, Fingerprint: key})
+				errorBody{Error: re.Error(), RunError: re, Fingerprint: key, RunID: runID})
 			return
 		}
+		obs.Log().Error("serve.run", "run_id", runID, "fingerprint", key,
+			"scenario", scenarioLabel(req.Scenario), "status", "failed", "error", err.Error())
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -411,7 +467,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	b := res.Breakdown
+	timing.Total = time.Since(start).Seconds() * 1e3
+	trace := s.newTrace(runID, req, key, out.plan.plan.Devices, start, timing, res.Trace)
+	trace.StepMS = b.StepTime * 1e3
+	s.record(trace)
+	obs.Log().Info("serve.run", "run_id", runID, "fingerprint", key,
+		"scenario", scenarioLabel(req.Scenario), "status", "ok", "plan", out.source,
+		"step_ms", trace.StepMS, "total_ms", timing.Total,
+		"overlap_efficiency", trace.OverlapEfficiency)
+
 	s.writeJSON(w, http.StatusOK, RunResponse{
+		RunID:       runID,
 		Fingerprint: key,
 		Plan:        out.source,
 		BestName:    out.plan.plan.BestName,
@@ -423,17 +489,111 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Wire:    b.CollectiveWire * 1e3,
 			Exposed: b.Exposed * 1e3,
 		},
-		OverlapEfficiency: sim.Attribute(res.Trace).OverlapEfficiency(),
+		OverlapEfficiency: trace.OverlapEfficiency,
 		Digest:            Digest(outputs),
 		Checked:           checked,
-		TimingMS: TimingMS{
-			Queue:     out.queueWait.Seconds() * 1e3,
-			Plan:      out.planWait.Seconds() * 1e3,
-			Admission: admWait.Seconds() * 1e3,
-			Run:       runDur.Seconds() * 1e3,
-			Total:     time.Since(start).Seconds() * 1e3,
-		},
+		TimingMS:          timing,
 	})
+}
+
+// scenarioLabel normalizes a request scenario onto the trace artifact's
+// vocabulary: forward layer steps are "run", training steps "train".
+func scenarioLabel(s string) string {
+	if s == "train" {
+		return "train"
+	}
+	return "run"
+}
+
+// newTrace assembles the run-scoped trace artifact for one served run:
+// executor spans (with attribution verdicts) when the run produced
+// them, plus the serve-path stage breakdown and request metadata.
+func (s *Server) newTrace(runID string, req *Request, key string, devices int, start time.Time, timing TimingMS, events []sim.TraceEvent) *obs.RunTrace {
+	trace := obs.NewRunTrace(runID, scenarioLabel(req.Scenario), sim.Spans(events))
+	trace.Model = req.Model
+	trace.Fingerprint = key
+	trace.Devices = devices
+	trace.Start = start.UTC().Format(time.RFC3339Nano)
+	trace.TotalMS = timing.Total
+	cursor := 0.0
+	for _, st := range []struct {
+		name string
+		dur  float64
+	}{{"queue", timing.Queue}, {"plan", timing.Plan}, {"admission", timing.Admission}, {"run", timing.Run}} {
+		trace.Stages = append(trace.Stages, obs.RunStage{Name: st.name, StartMS: cursor, DurMS: st.dur})
+		cursor += st.dur
+	}
+	return trace
+}
+
+// record stores a trace in the flight recorder and, when TraceDir is
+// configured, writes its durable JSON twin.
+func (s *Server) record(trace *obs.RunTrace) {
+	s.recorder.record(trace)
+	if s.cfg.TraceDir == "" {
+		return
+	}
+	data, err := trace.EncodeJSON()
+	if err == nil {
+		err = os.WriteFile(filepath.Join(s.cfg.TraceDir, trace.ID+".json"), data, 0o644)
+	}
+	if err != nil {
+		obs.Log().Error("serve.trace_write", "run_id", trace.ID, "error", err.Error())
+	}
+}
+
+// handleRuns serves GET /v1/runs: the flight recorder's contents,
+// newest first.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s needs GET", r.URL.Path))
+		return
+	}
+	runs := s.recorder.list()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"runs": runs,
+		"size": len(runs),
+	})
+}
+
+// handleRunByID serves GET /v1/runs/{id}?format=json|chrome: the full
+// trace artifact of one recorded run, as stable JSON (default) or as a
+// Chrome trace file loadable in Perfetto.
+func (s *Server) handleRunByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s needs GET", r.URL.Path))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/runs/")
+	if id == "" || strings.Contains(id, "/") {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: no run id in %s", r.URL.Path))
+		return
+	}
+	trace := s.recorder.get(id)
+	if trace == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: run %s is not in the flight recorder (evicted or never recorded)", id))
+		return
+	}
+	var (
+		data []byte
+		err  error
+	)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		data, err = trace.EncodeJSON()
+	case "chrome":
+		data, err = trace.ChromeTrace()
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown trace format %q (want json or chrome)", format))
+		return
+	}
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }
 
 // handleCompile serves POST /v1/compile: acquire (or build) the plan

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"overlap/internal/obs"
+)
+
+// getTrace fetches GET /v1/runs/{id} and decodes the artifact.
+func getTrace(t *testing.T, ts *httptest.Server, id string) *obs.RunTrace {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/runs/%s: status %d", id, resp.StatusCode)
+	}
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := obs.DecodeRunTrace(raw)
+	if err != nil {
+		t.Fatalf("trace does not decode: %v", err)
+	}
+	return trace
+}
+
+// checkWireVerdicts asserts what /v1/runs/{id} promises: every wire
+// span carries a verdict consistent with obs.Attribute over the same
+// spans — the artifact's stamps are the analyzer's conclusions, not a
+// second opinion.
+func checkWireVerdicts(t *testing.T, trace *obs.RunTrace) {
+	t.Helper()
+	if trace.Attribution == nil {
+		t.Fatal("trace has no attribution report")
+	}
+	spans := make([]obs.Span, 0, len(trace.Spans))
+	for _, s := range trace.Spans {
+		spans = append(spans, obs.Span{
+			Device: s.Device, Track: s.Track, Cat: s.Cat, Name: s.Name,
+			Start: s.StartMS / 1e3, Dur: s.DurMS / 1e3,
+		})
+	}
+	rep := obs.Attribute(spans)
+	byName := map[string]obs.Attribution{}
+	for _, a := range rep.Collectives {
+		byName[a.Name] = a
+	}
+	wire := 0
+	for _, s := range trace.Spans {
+		isWire := (s.Track == obs.TrackTransfer && s.Cat == obs.CatTransfer) ||
+			(s.Track == obs.TrackCompute && s.Cat == obs.CatCollective)
+		if !isWire {
+			continue
+		}
+		wire++
+		a, ok := byName[s.Name]
+		if !ok {
+			t.Errorf("%s: wire span not in re-derived attribution", s.Name)
+			continue
+		}
+		want := obs.VerdictPartial
+		switch {
+		case a.Blocking || a.Hidden == 0:
+			want = obs.VerdictExposed
+		case a.Exposed <= 1e-12*a.Wire:
+			want = obs.VerdictHidden
+		}
+		if s.Verdict != want {
+			t.Errorf("%s: span verdict %q, attribution derives %q", s.Name, s.Verdict, want)
+		}
+	}
+	if wire == 0 {
+		t.Error("trace has no wire spans to attribute")
+	}
+}
+
+// TestServeRunTraceEndpoints drives the acceptance criterion: a served
+// run returns a run ID, /v1/runs lists it, /v1/runs/{id} returns a
+// trace whose wire spans carry attribution consistent with
+// obs.Attribute — for both the layer ("run") and "train" scenarios —
+// and the Chrome format renders from the same artifact.
+func TestServeRunTraceEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+
+	reqs := []struct {
+		scenario string
+		req      Request
+	}{
+		{"run", miniatureRequest()},
+		{"train", Request{Model: "GPT_32B", Devices: 4, Dim: 2, Scenario: "train", Layers: 1}},
+	}
+	for _, tc := range reqs {
+		rr, _, _, err := postRun(ts, tc.req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.scenario, err)
+		}
+		if rr.RunID == "" {
+			t.Fatalf("%s: response carries no run_id", tc.scenario)
+		}
+
+		trace := getTrace(t, ts, rr.RunID)
+		if trace.ID != rr.RunID {
+			t.Errorf("trace id %s, response said %s", trace.ID, rr.RunID)
+		}
+		if trace.Scenario != tc.scenario {
+			t.Errorf("trace scenario %q, want %q", trace.Scenario, tc.scenario)
+		}
+		if trace.Status != obs.StatusOK {
+			t.Errorf("%s: trace status %q", tc.scenario, trace.Status)
+		}
+		if len(trace.Stages) != 4 {
+			t.Errorf("%s: %d stages, want queue/plan/admission/run", tc.scenario, len(trace.Stages))
+		}
+		checkWireVerdicts(t, trace)
+
+		// Chrome export from the same artifact.
+		resp, err := http.Get(ts.URL + "/v1/runs/" + rr.RunID + "?format=chrome")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var chrome struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+			Metadata    map[string]any    `json:"metadata"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&chrome)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: chrome format does not parse: %v", tc.scenario, err)
+		}
+		if chrome.Metadata["run_id"] != rr.RunID {
+			t.Errorf("%s: chrome metadata run_id %v", tc.scenario, chrome.Metadata["run_id"])
+		}
+		if len(chrome.TraceEvents) != len(trace.Spans)+len(trace.Stages) {
+			t.Errorf("%s: chrome has %d events, artifact has %d spans + %d stages",
+				tc.scenario, len(chrome.TraceEvents), len(trace.Spans), len(trace.Stages))
+		}
+	}
+
+	// /v1/runs lists both, newest first.
+	resp, err := http.Get(ts.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Runs []RunSummary `json:"runs"`
+		Size int          `json:"size"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if listing.Size < 2 || len(listing.Runs) != listing.Size {
+		t.Fatalf("listing has %d runs (size %d), want >= 2", len(listing.Runs), listing.Size)
+	}
+	if listing.Runs[0].Scenario != "train" {
+		t.Errorf("listing is not newest-first: leads with scenario %q", listing.Runs[0].Scenario)
+	}
+
+	// Unknown IDs and bad formats answer 4xx, not 5xx.
+	if resp, err := http.Get(ts.URL + "/v1/runs/r-does-not-exist"); err == nil {
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown run id: status %d, want 404", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestServeFailedRunTrace pins the failure path: an injected-fault run
+// answers 5xx with the run ID in the body, its trace is retrievable
+// with status "failed" and the full queue/plan/admission/run breakdown,
+// and the failed-run histogram sees it.
+func TestServeFailedRunTrace(t *testing.T) {
+	cfg := testConfig()
+	cfg.DebugFaults = true
+	_, ts := newTestServer(t, cfg)
+
+	// Warm the plan first so the failure is a run failure, not a compile
+	// failure.
+	if _, _, _, err := postRun(ts, miniatureRequest()); err != nil {
+		t.Fatal(err)
+	}
+
+	before := svFailedRunSeconds.Count()
+	req := miniatureRequest()
+	req.Fault = "crash:dev:1"
+	req.DeadlineMS = 30000
+	_, status, raw, err := postRun(ts, req)
+	if err == nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("injected crash answered status %d, want 503", status)
+	}
+	var body struct {
+		Error    string `json:"error"`
+		RunID    string `json:"run_id"`
+		RunError *struct {
+			Phase string `json:"phase"`
+			RunID string `json:"run_id"`
+		} `json:"run_error"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("5xx body does not parse: %v\n%s", err, raw)
+	}
+	if body.RunID == "" {
+		t.Fatal("5xx body carries no run_id")
+	}
+	if body.RunError == nil || body.RunError.RunID != body.RunID {
+		t.Errorf("run_error.run_id does not match body run_id %s", body.RunID)
+	}
+	if !strings.Contains(body.Error, "[run "+body.RunID+"]") {
+		t.Errorf("error string %q does not carry the run id", body.Error)
+	}
+
+	trace := getTrace(t, ts, body.RunID)
+	if trace.Status != obs.StatusFailed {
+		t.Errorf("failed run's trace has status %q", trace.Status)
+	}
+	if trace.Error == nil || trace.Error.Cause == "" {
+		t.Error("failed trace carries no error attribution")
+	}
+	if len(trace.Stages) != 4 {
+		t.Errorf("failed trace has %d stages, want the full breakdown", len(trace.Stages))
+	}
+	if got := svFailedRunSeconds.Count() - before; got != 1 {
+		t.Errorf("failed-run histogram count moved by %d, want 1", got)
+	}
+}
+
+// TestServeTraceDir verifies the durable twin: with TraceDir set, every
+// recorded run also lands as <dir>/<id>.json and decodes.
+func TestServeTraceDir(t *testing.T) {
+	cfg := testConfig()
+	cfg.TraceDir = t.TempDir()
+	_, ts := newTestServer(t, cfg)
+
+	rr, _, _, err := postRun(ts, miniatureRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.TraceDir, rr.RunID+".json"))
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	trace, err := obs.DecodeRunTrace(data)
+	if err != nil {
+		t.Fatalf("trace file does not decode: %v", err)
+	}
+	if trace.ID != rr.RunID {
+		t.Errorf("trace file id %s, want %s", trace.ID, rr.RunID)
+	}
+}

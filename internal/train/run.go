@@ -46,6 +46,11 @@ type Options struct {
 	Attribution bool
 	// Faults injects deterministic faults into every step's execution.
 	Faults *runtime.FaultPlan
+	// RunID correlates the whole training run: step s executes under
+	// "<RunID>.s<s>" (echoed in StepStat.RunID and any RunError), and
+	// the final-step trace artifact carries RunID itself. Empty mints a
+	// fresh obs.NewRunID.
+	RunID string
 }
 
 // StepStat is one training step's outcome.
@@ -61,6 +66,8 @@ type StepStat struct {
 	StepSeconds float64 `json:"step_seconds"`
 	// Checked marks a step verified bitwise against the interpreter.
 	Checked bool `json:"checked"`
+	// RunID is the step's execution identity ("<run>.s<step>").
+	RunID string `json:"run_id,omitempty"`
 }
 
 // Result is a completed training run.
@@ -84,6 +91,10 @@ type Result struct {
 	Modeled *obs.AttributionReport `json:"modeled,omitempty"`
 	// ModeledBuckets rolls Modeled up per gradient bucket.
 	ModeledBuckets []obs.Attribution `json:"modeled_buckets,omitempty"`
+	// Trace is the final step's run-scoped trace artifact when
+	// Options.Attribution was set: the measured spans with per-wire-span
+	// verdicts, under the run's base ID.
+	Trace *obs.RunTrace `json:"trace,omitempty"`
 }
 
 // FinalLoss returns the last step's loss (NaN-free by construction).
@@ -154,16 +165,23 @@ func Execute(ctx context.Context, prog *Program, res *Result, opts Options) (*Re
 		res.ModeledBuckets = rep.GroupBy(BucketKey)
 	}
 
+	runID := opts.RunID
+	if runID == "" {
+		runID = obs.NewRunID()
+	}
+
 	n := cfg.Devices
 	w := cfg.NumWeights()
 	for step := 0; step < steps; step++ {
-		ropts := runtime.Options{Spec: spec, TimeScale: opts.TimeScale, Faults: opts.Faults}
+		stepID := fmt.Sprintf("%s.s%d", runID, step)
+		ropts := runtime.Options{Spec: spec, TimeScale: opts.TimeScale, Faults: opts.Faults, RunID: stepID}
 		last := step == steps-1
 		if opts.Attribution && last {
 			ropts.Trace = true
 		}
 		rres, err := runtime.RunContext(ctx, prog.Comp, n, args, ropts)
 		if err != nil {
+			obs.Log().Error("train.step", "run_id", stepID, "step", step, "error", err.Error())
 			return nil, fmt.Errorf("train: step %d: %w", step, err)
 		}
 
@@ -176,6 +194,7 @@ func Execute(ctx context.Context, prog *Program, res *Result, opts Options) (*Re
 			GradDigest:   digestOutputs(rres.All, gradOps(prog), n),
 			WeightDigest: digestOutputs(rres.All, weightOps(prog), n),
 			StepSeconds:  rres.Breakdown.StepTime,
+			RunID:        stepID,
 		}
 
 		if opts.Check {
@@ -198,6 +217,8 @@ func Execute(ctx context.Context, prog *Program, res *Result, opts Options) (*Re
 		trLoss.Set(loss)
 		trStepSeconds.Observe(stat.StepSeconds)
 		res.Steps = append(res.Steps, stat)
+		obs.Log().Info("train.step", "run_id", stepID, "step", step,
+			"loss", loss, "step_seconds", stat.StepSeconds, "checked", stat.Checked)
 
 		if opts.Attribution && last {
 			rep := sim.Attribute(rres.Trace)
@@ -205,6 +226,11 @@ func Execute(ctx context.Context, prog *Program, res *Result, opts Options) (*Re
 			res.BucketAttribution = rep.GroupBy(BucketKey)
 			trGradWireSeconds.Set(rep.TotalWire)
 			trGradHiddenSeconds.Set(rep.TotalHidden)
+
+			trace := obs.NewRunTrace(runID, "train", sim.Spans(rres.Trace))
+			trace.Devices = n
+			trace.StepMS = rres.Breakdown.StepTime * 1e3
+			res.Trace = trace
 		}
 
 		// The updated weights become the next step's parameters; x, the

@@ -31,6 +31,8 @@ package overlap
 
 import (
 	"context"
+	"io"
+	"log/slog"
 	"net/http"
 
 	"overlap/internal/autotune"
@@ -105,6 +107,17 @@ type (
 	AttributionReport = obs.AttributionReport
 	// CollectiveAttribution is one collective's hidden/exposed split.
 	CollectiveAttribution = obs.Attribution
+	// RunTrace is the run-scoped trace artifact: one execution's
+	// identity, serve-path stages, executor spans (wire spans stamped
+	// with their attribution verdict), and attribution report —
+	// exportable as stable JSON and as a Chrome trace.
+	RunTrace = obs.RunTrace
+	// RunSpan is one executor span of a RunTrace.
+	RunSpan = obs.RunSpan
+	// RunStage is one coarse serve-path interval of a RunTrace.
+	RunStage = obs.RunStage
+	// RunTraceError is a failed run's attribution inside a RunTrace.
+	RunTraceError = obs.RunTraceError
 	// Plan is the immutable compiled artifact the serving path executes:
 	// the transformed scheduled program plus the knobs and calibration
 	// that produced it, keyed by the autotune fingerprint.
@@ -262,6 +275,34 @@ func Miniature(cfg ModelConfig, devices, dim int) (ModelConfig, error) {
 // TraceJSON renders trace events (simulated or measured) as a Chrome
 // trace file loadable in Perfetto.
 func TraceJSON(events []TraceEvent) ([]byte, error) { return sim.TraceJSON(events) }
+
+// NewRunID mints a fresh run identity ("r-" + 16 hex chars) — the key a
+// run's trace, structured logs, metrics, and failure correlate under.
+func NewRunID() string { return obs.NewRunID() }
+
+// NewRunTrace assembles the run-scoped trace artifact from a measured
+// (or simulated) trace-event stream: the attribution analyzer runs
+// once, every wire span is stamped with its verdict (hidden /
+// partially-hidden / exposed) and the compute that hid it, and the full
+// report is embedded. Scenario is "run" for layer steps, "train" for
+// training steps.
+func NewRunTrace(id, scenario string, events []TraceEvent) *RunTrace {
+	return obs.NewRunTrace(id, scenario, sim.Spans(events))
+}
+
+// DecodeRunTrace parses a serialized RunTrace artifact (a CLI
+// -trace-out file or a daemon /v1/runs/{id} body), rejecting version
+// mismatches.
+func DecodeRunTrace(data []byte) (*RunTrace, error) { return obs.DecodeRunTrace(data) }
+
+// Log returns the process-wide structured logger: JSON records, keyed
+// by "run_id" wherever a run is involved. Silent until SetLogOutput
+// installs a sink.
+func Log() *slog.Logger { return obs.Log() }
+
+// SetLogOutput directs the process-wide structured logger at w (JSON
+// lines); pass io.Discard to silence it again.
+func SetLogOutput(w io.Writer) { obs.SetLogOutput(w) }
 
 // Metrics returns the process-wide telemetry registry. The simulator,
 // the concurrent runtime, and the autotuner all record into it; export
