@@ -66,10 +66,12 @@ func main() {
 	flightKeep := flag.Int("flight-keep", 8, "flight recorder: slowest/failed runs kept beyond the ring")
 	traceDir := flag.String("trace-dir", "", "additionally write every recorded run trace to <dir>/<run-id>.json")
 	kernelWorkers := flag.Int("kernel-workers", 0, "intra-op einsum kernel parallelism (0 = GOMAXPROCS); keyed into every plan fingerprint")
+	kernelSplitK := flag.Int("kernel-splitk", 0, "split-K factor for skinny einsum kernels (0 = off); keyed into every plan fingerprint")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
 	overlap.SetKernelWorkers(*kernelWorkers)
+	overlap.SetKernelSplitK(*kernelSplitK)
 	// Structured logs to stderr: one JSON object per line, every line of
 	// a run's story carrying its run_id.
 	overlap.SetLogOutput(os.Stderr)

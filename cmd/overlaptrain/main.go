@@ -59,12 +59,14 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the overlap mode's final-step run trace artifact (RunTrace JSON, readable by traceviz -trace-in) to this file")
 	metricsOut := flag.String("metrics-out", "", "export telemetry to this file (Prometheus text, or JSON with a .json suffix)")
 	kernelWorkers := flag.Int("kernel-workers", 0, "intra-op einsum kernel parallelism (0 = GOMAXPROCS); results are byte-identical for any value")
+	kernelSplitK := flag.Int("kernel-splitk", 0, "split-K factor for skinny einsum kernels (0 = off); factors >= 2 reassociate the contraction deterministically")
 	faultSpec := flag.String("fault", "", "inject faults, comma-separated: crash:dev:D[:K], drop:link:S-D[:K], dup:link:S-D[:K], delay:link:S-D:DUR[:JITTER]")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for fault-injection jitter (deterministic per seed)")
 	deadline := flag.Duration("deadline", 0, "abort a run that exceeds this wall-clock with a structured error (0 = no deadline)")
 	flag.Parse()
 
 	overlap.SetKernelWorkers(*kernelWorkers)
+	overlap.SetKernelSplitK(*kernelSplitK)
 
 	strat, err := overlap.ParseTrainStrategy(*strategy)
 	if err != nil {

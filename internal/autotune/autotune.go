@@ -175,11 +175,17 @@ type Result struct {
 
 // ApplyBest applies the winning configuration to c in place; when the
 // blocking baseline won it leaves c untouched and returns an empty
-// report.
+// report. Besides rewriting the program it configures the kernel
+// engine's split-K factor (tensor.SetKernelSplitK) — that knob is part
+// of the tuned decision but acts at execution time, not in the program
+// text, so applying the decision must set it or the measured winner
+// would not be what later runs execute.
 func (r *Result) ApplyBest(c *hlo.Computation) (core.Report, error) {
 	if r.BestIsBaseline {
+		tensor.SetKernelSplitK(0)
 		return core.Report{}, nil
 	}
+	tensor.SetKernelSplitK(r.Best.KernelSplitK)
 	return core.Apply(c, r.Best)
 }
 
@@ -276,7 +282,11 @@ func enumerate(c *hlo.Computation, numDevices int, opts Options) []*Candidate {
 }
 
 // stage1 transforms a clone of the program per candidate, dedups
-// byte-identical results, and simulates each unique survivor.
+// byte-identical results, and simulates each unique survivor. The dedup
+// key is the transformed program text plus the kernel split-K factor:
+// the factor changes execution (it reassociates skinny contractions)
+// without changing a single emitted instruction, so two candidates with
+// identical text but different factors are distinct measurements.
 func stage1(cands []*Candidate, c *hlo.Computation, numDevices int, opts Options) {
 	seen := map[string]*Candidate{}
 	for _, cand := range cands {
@@ -287,7 +297,7 @@ func stage1(cands []*Candidate, c *hlo.Computation, numDevices int, opts Options
 				continue
 			}
 		}
-		text := clone.Format()
+		text := fmt.Sprintf("ksplit=%d\n%s", cand.Opts.KernelSplitK, clone.Format())
 		if first, dup := seen[text]; dup {
 			cand.DuplicateOf = first.Name
 			cand.Predicted = first.Predicted
@@ -364,10 +374,19 @@ func stage2(res *Result, c *hlo.Computation, numDevices int, args [][]*tensor.Te
 
 	ropts := runtime.Options{Spec: opts.Spec, TimeScale: opts.TimeScale}
 
+	// Each candidate's kernel split-K factor is installed process-wide
+	// around both its interpreter reference and its runtime executions —
+	// the two engines must agree on the factor for the bitwise
+	// cross-check to be meaningful — and the caller's ambient setting is
+	// restored when stage 2 finishes.
+	prevSplitK := tensor.KernelSplitK()
+	defer tensor.SetKernelSplitK(prevSplitK)
+
 	// One untimed warmup run: the first execution in a process pays for
 	// thread-pool and allocator spin-up that would otherwise be charged
 	// to whichever candidate happens to run first.
 	ropts.RunID = opts.RunID + ".warmup"
+	tensor.SetKernelSplitK(res.Candidates[toRun[0]].Opts.KernelSplitK)
 	if warm, err := runtime.Run(res.Candidates[toRun[0]].transformed, numDevices, args, ropts); err == nil && warm != nil {
 		res.Executions++
 	}
@@ -375,6 +394,7 @@ func stage2(res *Result, c *hlo.Computation, numDevices int, args [][]*tensor.Te
 	best := -1
 	for _, i := range toRun {
 		cand := &res.Candidates[i]
+		tensor.SetKernelSplitK(cand.Opts.KernelSplitK)
 		want, err := sim.Interpret(cand.transformed, numDevices, args)
 		if err != nil {
 			return fmt.Errorf("autotune: interpreting %s: %w", cand.Name, err)

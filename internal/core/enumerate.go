@@ -2,16 +2,20 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"overlap/internal/hlo"
 	"overlap/internal/machine"
+	"overlap/internal/tensor"
 )
 
 // Fingerprint returns a stable textual identity of every knob that
-// changes what Apply emits. The machine spec is deliberately excluded —
-// it prices decisions but, with UseCostModel off, does not alter the
-// rewrite — so autotune can key candidates by program shape and spec
-// separately.
+// changes what Apply emits or how the result executes (KernelSplitK
+// leaves the program text untouched but reassociates skinny
+// contractions at run time, so it is part of the planned identity).
+// The machine spec is deliberately excluded — it prices decisions but,
+// with UseCostModel off, does not alter the rewrite — so autotune can
+// key candidates by program shape and spec separately.
 func (o Options) Fingerprint() string {
 	b := func(v bool) int {
 		if v {
@@ -19,10 +23,10 @@ func (o Options) Fingerprint() string {
 		}
 		return 0
 	}
-	return fmt.Sprintf("sched=%s unroll=%d bidi=%d rolled=%d cost=%d fuse=%d friendly=%d remat=%d splitar=%d concat=%d bucket=%d",
+	return fmt.Sprintf("sched=%s unroll=%d bidi=%d rolled=%d cost=%d fuse=%d friendly=%d remat=%d splitar=%d concat=%d bucket=%d ksplit=%d",
 		o.Scheduler, b(o.Unroll), b(o.Bidirectional), b(o.Rolled), b(o.UseCostModel),
 		b(o.FuseAddIntoEinsum), b(o.OverlapFriendlyFusion), b(o.RematerializeGathers),
-		b(o.SplitAllReduce), b(o.ConcatToPadMax), o.GradBucketBytes)
+		b(o.SplitAllReduce), b(o.ConcatToPadMax), o.GradBucketBytes, o.KernelSplitK)
 }
 
 // EnumerateOptions returns the distinct pipeline configurations worth
@@ -42,7 +46,11 @@ func (o Options) Fingerprint() string {
 //     they are enumerated only when c contains one (the training step's
 //     DDP gradient reductions being the motivating case), and never
 //     together in one candidate: bucketing consumes the gradient
-//     AllReduces first, leaving the split pass nothing to do.
+//     AllReduces first, leaving the split pass nothing to do;
+//   - KernelSplitK factors are enumerated only when c has a skinny
+//     einsum site (few decomposed output rows against a large
+//     contraction) — the only shape the kernel engine's split-K gate
+//     accepts, so elsewhere every factor executes identically.
 //
 // Every candidate has UseCostModel off: the caller's search *replaces*
 // the per-site analytic gate with a whole-program decision. The blocking
@@ -78,6 +86,10 @@ func EnumerateOptions(spec machine.Spec, ringSize int, c *hlo.Computation) []Opt
 		reduces = append(reduces, reduceKnob{true, 0},
 			reduceKnob{false, 8 << 10}, reduceKnob{false, 512 << 10})
 	}
+	splitKs := []int{0}
+	if c != nil && hasSkinnySite(c, ringSize) {
+		splitKs = append(splitKs, 2, 4)
+	}
 
 	for _, sched := range []SchedulerKind{SchedulerBottomUp, SchedulerTopDown, SchedulerNone} {
 		for _, unroll := range []bool{false, true} {
@@ -85,16 +97,19 @@ func EnumerateOptions(spec machine.Spec, ringSize int, c *hlo.Computation) []Opt
 				for _, fu := range fusions {
 					for _, remat := range remats {
 						for _, red := range reduces {
-							o := base
-							o.Scheduler = sched
-							o.Unroll = unroll
-							o.Bidirectional = bidi
-							o.FuseAddIntoEinsum = fu.fuse
-							o.OverlapFriendlyFusion = fu.friendly
-							o.RematerializeGathers = remat
-							o.SplitAllReduce = red.split
-							o.GradBucketBytes = red.bucket
-							out = append(out, o)
+							for _, ks := range splitKs {
+								o := base
+								o.Scheduler = sched
+								o.Unroll = unroll
+								o.Bidirectional = bidi
+								o.FuseAddIntoEinsum = fu.fuse
+								o.OverlapFriendlyFusion = fu.friendly
+								o.RematerializeGathers = remat
+								o.SplitAllReduce = red.split
+								o.GradBucketBytes = red.bucket
+								o.KernelSplitK = ks
+								out = append(out, o)
+							}
 						}
 					}
 				}
@@ -123,6 +138,53 @@ func hasRingAllReduce(c *hlo.Computation) bool {
 func hasMultiConsumerGather(c *hlo.Computation) bool {
 	for _, in := range c.Instructions() {
 		if in.Op == hlo.OpAllGather && len(in.Users()) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Skinny-site thresholds, mirroring the kernel engine's split-K gate:
+// a site is worth a split-K candidate when its decomposed partials have
+// fewer output rows than the engine splits rows-wise and a contraction
+// long enough to cut into worthwhile ranges.
+const (
+	skinnySiteMaxRows = 64
+	skinnySiteMinK    = 256
+)
+
+// hasSkinnySite reports whether any einsum's output is row-starved
+// relative to its contraction once decomposed over the ring — the
+// shape where split-K factors can change execution at all. Deliberately
+// conservative: the miniature programs used by golden and serving tests
+// have tiny contractions and never enumerate the factor.
+func hasSkinnySite(c *hlo.Computation, ringSize int) bool {
+	for _, in := range c.Instructions() {
+		if in.Op != hlo.OpEinsum || len(in.Operands) != 2 {
+			continue
+		}
+		spec, err := tensor.ParseEinsum(in.EinsumSpec)
+		if err != nil || len(spec.Inputs) != 2 {
+			continue
+		}
+		lhs, out := spec.Inputs[0], spec.Output
+		rows, k := 1, 1
+		for i := 0; i < len(out); i++ {
+			if strings.IndexByte(lhs, out[i]) >= 0 {
+				rows *= in.Shape[i]
+			}
+		}
+		for i := 0; i < len(lhs); i++ {
+			if strings.IndexByte(out, lhs[i]) < 0 {
+				k *= in.Operands[0].Shape[i]
+			}
+		}
+		if ringSize > 1 {
+			// The decomposed loop computes one ring-sized shard of the
+			// output rows per partial einsum.
+			rows = (rows + ringSize - 1) / ringSize
+		}
+		if rows < skinnySiteMaxRows && k >= skinnySiteMinK {
 			return true
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -8,6 +9,15 @@ import (
 	"overlap/internal/machine"
 	"overlap/internal/topology"
 )
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(data)
+}
 
 func multiGatherProgram(n int) *hlo.Computation {
 	groups := topology.NewRing(n).AxisGroups(0)
@@ -96,6 +106,78 @@ func TestEnumerateOptionsPruning(t *testing.T) {
 			t.Errorf("duplicate fingerprint %s", fp)
 		}
 		seen[fp] = true
+	}
+}
+
+// skinnyProgram has an einsum whose decomposed partials are one output
+// row against a 4096-long contraction — the shape the split-K gate
+// accepts.
+func skinnyProgram(n int) *hlo.Computation {
+	groups := topology.NewRing(n).AxisGroups(0)
+	c := hlo.NewComputation("skinny")
+	a := c.Parameter(0, "a", []int{n, 4096})
+	b := c.Parameter(1, "b", []int{4096, 64})
+	full := c.AllGather(a, 0, groups)
+	c.Einsum("mk,kn->mn", full, b)
+	return c
+}
+
+func TestEnumerateOptionsSplitKGating(t *testing.T) {
+	spec := machine.TPUv4()
+	count := func(opts []Options, pred func(Options) bool) int {
+		n := 0
+		for _, o := range opts {
+			if pred(o) {
+				n++
+			}
+		}
+		return n
+	}
+
+	// The miniature fat-shaped programs must not enumerate the factor —
+	// every value executes identically there, and doubling the space
+	// for nothing would slow every tune.
+	fat := EnumerateOptions(spec, 4, singleGatherProgram(4))
+	if got := count(fat, func(o Options) bool { return o.KernelSplitK != 0 }); got != 0 {
+		t.Errorf("fat program enumerated %d split-K candidates", got)
+	}
+
+	skinny := EnumerateOptions(spec, 4, skinnyProgram(4))
+	if got := count(skinny, func(o Options) bool { return o.KernelSplitK == 2 }); got == 0 {
+		t.Error("skinny program enumerated no split-K=2 candidates")
+	}
+	if got := count(skinny, func(o Options) bool { return o.KernelSplitK == 4 }); got == 0 {
+		t.Error("skinny program enumerated no split-K=4 candidates")
+	}
+	if got := count(skinny, func(o Options) bool { return o.Rolled && o.KernelSplitK != 0 }); got != 0 {
+		t.Errorf("%d rolled candidates carry a split-K factor", got)
+	}
+
+	// Fingerprints must separate candidates that differ only in the
+	// factor — the emitted program text is identical.
+	seen := map[string]bool{}
+	for _, o := range skinny {
+		fp := o.Fingerprint()
+		if seen[fp] {
+			t.Fatalf("duplicate fingerprint %s", fp)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestKnobsRoundTripKernelSplitK(t *testing.T) {
+	spec := machine.TPUv4()
+	o := DefaultOptions(spec)
+	o.KernelSplitK = 4
+	back := o.Knobs().Options(spec)
+	if back.KernelSplitK != 4 {
+		t.Fatalf("KernelSplitK lost in Knobs round trip: got %d", back.KernelSplitK)
+	}
+	// The zero factor must be invisible in the serialized form so plan
+	// artifacts written before the knob existed stay byte-identical.
+	o.KernelSplitK = 0
+	if data := mustJSON(t, o.Knobs()); strings.Contains(data, "kernel_split_k") {
+		t.Fatalf("zero split-K factor serialized: %s", data)
 	}
 }
 

@@ -102,6 +102,17 @@ type Options struct {
 	// start communicating earlier, large buckets amortize per-step
 	// latency better.
 	GradBucketBytes int64
+
+	// KernelSplitK, when >= 2, asks the kernel engine to execute skinny
+	// GEMMs (the decomposed loop's partial einsums: few output rows,
+	// large contraction) by partitioning the contraction into this many
+	// ranges reduced with a fixed-shape binary tree. For a fixed factor
+	// results are byte-identical across worker counts, but different
+	// factors reassociate the contraction and round differently — so
+	// the factor is a planned, fingerprinted decision the autotuner
+	// searches per program, never a machine-derived heuristic. 0 (and
+	// 1) keep every kernel on the reference accumulation order.
+	KernelSplitK int
 }
 
 // DefaultOptions returns the configuration the paper deploys: all
@@ -156,6 +167,7 @@ type Knobs struct {
 	SplitAllReduce        bool   `json:"split_all_reduce,omitempty"`
 	ConcatToPadMax        bool   `json:"concat_to_pad_max,omitempty"`
 	GradBucketBytes       int64  `json:"grad_bucket_bytes,omitempty"`
+	KernelSplitK          int    `json:"kernel_split_k,omitempty"`
 }
 
 // Knobs strips o down to its serializable rewrite knobs.
@@ -171,6 +183,7 @@ func (o Options) Knobs() Knobs {
 		SplitAllReduce:        o.SplitAllReduce,
 		ConcatToPadMax:        o.ConcatToPadMax,
 		GradBucketBytes:       o.GradBucketBytes,
+		KernelSplitK:          o.KernelSplitK,
 	}
 }
 
@@ -198,6 +211,7 @@ func (k Knobs) Options(spec machine.Spec) Options {
 		SplitAllReduce:        k.SplitAllReduce,
 		ConcatToPadMax:        k.ConcatToPadMax,
 		GradBucketBytes:       k.GradBucketBytes,
+		KernelSplitK:          k.KernelSplitK,
 	}
 }
 

@@ -43,6 +43,13 @@ type gemmPlan struct {
 	// Direct layouts: the operand (or output) is already row-major in
 	// packed order, so its backing array is used without copying.
 	lhsDirect, rhsDirect, outDirect bool
+
+	// Persistent pack caches for the non-direct input sides (nil when
+	// the side is direct or the spec does not lower). Plans live for
+	// the process, so a pack cached here survives across loop
+	// iterations and steps — the decomposed loop packs each recurring
+	// weight shard once instead of once per iteration.
+	lhsPack, rhsPack *packCache
 }
 
 // buildPlan classifies the spec's labels and constructs the packing
@@ -104,6 +111,12 @@ func buildPlan(spec EinsumSpec) *gemmPlan {
 	p.lhsDirect = lhsOrder == lhs
 	p.rhsDirect = rhsOrder == rhs
 	p.outDirect = outOrder == out
+	if !p.lhsDirect {
+		p.lhsPack = newPackCache()
+	}
+	if !p.rhsDirect {
+		p.rhsPack = newPackCache()
+	}
 	p.ok = true
 	return p
 }
@@ -176,10 +189,12 @@ func (p *gemmPlan) check(out, lhs, rhs *Tensor) error {
 
 // run accumulates spec(lhs, rhs) into out — out's existing contents are
 // the accumulator, so callers computing a fresh einsum pass a zeroed
-// tensor. Scratch for packed operands comes from the buffer pool; the
-// accumulator is pre-packed into scratch when the output layout is not
-// direct, which keeps the per-element accumulation order identical to
-// the reference in every case.
+// tensor. Packed input operands come from the plan's persistent pack
+// cache (or pooled scratch when it is disabled); the accumulator is
+// pre-packed into pooled scratch when the output layout is not direct,
+// which keeps the per-element accumulation order identical to the
+// reference in every case. The accumulator pack is never cached: the
+// kernel itself mutates it.
 func (p *gemmPlan) run(out, lhs, rhs *Tensor, workers int) {
 	B, M, K, N := p.sizes(lhs, rhs)
 	if B*M*N == 0 {
@@ -189,16 +204,12 @@ func (p *gemmPlan) run(out, lhs, rhs *Tensor, workers int) {
 	a := lhs.data
 	var aBuf *[]float64
 	if !p.lhsDirect {
-		aBuf = getBuf(B * M * K)
-		permCopy(*aBuf, lhs, p.lhsPerm, true)
-		a = *aBuf
+		a, aBuf = packedOperand(p.lhsPack, lhs, p.lhsPerm, B*M*K)
 	}
 	b := rhs.data
 	var bBuf *[]float64
 	if !p.rhsDirect {
-		bBuf = getBuf(B * K * N)
-		permCopy(*bBuf, rhs, p.rhsPerm, true)
-		b = *bBuf
+		b, bBuf = packedOperand(p.rhsPack, rhs, p.rhsPerm, B*K*N)
 	}
 	c := out.data
 	var cBuf *[]float64
@@ -220,6 +231,7 @@ func (p *gemmPlan) run(out, lhs, rhs *Tensor, workers int) {
 	if bBuf != nil {
 		putBuf(bBuf)
 	}
+	out.noteMutation()
 }
 
 // permCopy moves elements between a tensor and a packed row-major
@@ -292,18 +304,41 @@ func permCopy(packed []float64, t *Tensor, perm []int, toPacked bool) {
 const gemmParallelMinFlops = 1 << 19
 
 // gemm executes C[g,i,j] += sum_k A[g,i,k]*B[g,k,j] over contiguous
-// row-major buffers, splitting the B*M output rows across workers. Each
-// row is owned by exactly one worker and every element accumulates its
-// K terms in ascending order, so the result bytes are independent of
-// the worker count.
+// row-major buffers, choosing a strategy by shape:
+//
+//   - split-K tree reduction when a factor is planned and the shape is
+//     skinny (splitk.go) — byte-identical across worker counts for a
+//     fixed factor, reassociated relative to factor 0;
+//   - row partition when the output has at least as many rows as
+//     columns — each row owned by one worker, ascending-k, so bytes
+//     match the reference at any worker count;
+//   - column partition for skinny outputs (few rows, many columns) —
+//     each column range owned by one worker, still ascending-k per
+//     element, so bytes again match the reference exactly.
+//
+// Only the split-K factor — a planned, fingerprinted decision — ever
+// changes result bytes; the worker count and the rows/columns choice
+// never do.
 func gemm(c, a, b []float64, B, M, K, N, workers int) {
 	rows := B * M
-	flops := 2 * int64(rows) * int64(K) * int64(N)
-	if workers > 1 && rows > 1 && flops >= gemmParallelMinFlops {
-		parallelRows(rows, workers, func(lo, hi int) {
-			gemmRows(c, a, b, M, K, N, lo, hi)
-		})
+	if s := splitFactor(rows, K, N); s > 1 {
+		gemmSplitK(c, a, b, B, M, K, N, s, workers)
 		return
+	}
+	flops := 2 * int64(rows) * int64(K) * int64(N)
+	if workers > 1 && flops >= gemmParallelMinFlops {
+		switch {
+		case rows >= N && rows > 1:
+			parallelRows(rows, workers, func(lo, hi int) {
+				gemmRows(c, a, b, M, K, N, lo, hi)
+			})
+			return
+		case N > 1:
+			parallelRows(N, workers, func(lo, hi int) {
+				gemmCols(c, a, b, B, M, K, N, lo, hi)
+			})
+			return
+		}
 	}
 	gemmRows(c, a, b, M, K, N, 0, rows)
 }
@@ -326,7 +361,7 @@ func gemmRows(c, a, b []float64, M, K, N, lo, hi int) {
 		aoff := (g*M + i) * K
 		coff := (g*M + i) * N
 		for span >= 4 {
-			gemm4Rows(c[coff:coff+4*N], a[aoff:aoff+4*K], bmat, K, N)
+			gemm4Rows(c[coff:coff+4*N], a[aoff:aoff+4*K], bmat, K, K, N)
 			span -= 4
 			r += 4
 			aoff += 4 * K
@@ -343,15 +378,17 @@ func gemmRows(c, a, b []float64, M, K, N, lo, hi int) {
 
 // gemm4Rows updates four C rows against the shared B panel: one load of
 // each B row feeds four multiply-accumulates, quartering the B memory
-// traffic of the single-row kernel.
-func gemm4Rows(c, a, b []float64, K, N int) {
+// traffic of the single-row kernel. K is the panel length; aStride the
+// distance between consecutive A rows (== K on the full matrix, larger
+// when a split-K chunk reads a K-subrange of each row).
+func gemm4Rows(c, a, b []float64, K, aStride, N int) {
 	c0 := c[0*N : 1*N]
 	c1 := c[1*N : 2*N]
 	c2 := c[2*N : 3*N]
 	c3 := c[3*N : 4*N]
 	for p := 0; p < K; p++ {
 		brow := b[p*N : p*N+N]
-		a0, a1, a2, a3 := a[p], a[K+p], a[2*K+p], a[3*K+p]
+		a0, a1, a2, a3 := a[p], a[aStride+p], a[2*aStride+p], a[3*aStride+p]
 		for j, bv := range brow {
 			c0[j] += a0 * bv
 			c1[j] += a1 * bv
@@ -386,6 +423,49 @@ func gemmRow(crow, arow, b []float64, K, N int) {
 		brow := b[p*N : p*N+N]
 		for j, bv := range brow {
 			crow[j] += ap * bv
+		}
+	}
+}
+
+// gemmCols computes output columns [lo, hi) of every row — the
+// partition axis for skinny outputs, where too few rows exist to feed
+// the worker pool. Each element still accumulates its K terms in
+// ascending order and is written by exactly one worker, so the bytes
+// match the reference at any worker count.
+func gemmCols(c, a, b []float64, B, M, K, N, lo, hi int) {
+	w := hi - lo
+	if K == 0 || w <= 0 {
+		return
+	}
+	for g := 0; g < B; g++ {
+		bmat := b[g*K*N:]
+		for i := 0; i < M; i++ {
+			r := g*M + i
+			arow := a[r*K : r*K+K]
+			crow := c[r*N+lo : r*N+hi]
+			p := 0
+			for ; p+4 <= K; p += 4 {
+				a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+				b0 := bmat[p*N+lo : p*N+lo+w]
+				b1 := bmat[(p+1)*N+lo : (p+1)*N+lo+w]
+				b2 := bmat[(p+2)*N+lo : (p+2)*N+lo+w]
+				b3 := bmat[(p+3)*N+lo : (p+3)*N+lo+w]
+				for j := range b0 {
+					s := crow[j]
+					s += a0 * b0[j]
+					s += a1 * b1[j]
+					s += a2 * b2[j]
+					s += a3 * b3[j]
+					crow[j] = s
+				}
+			}
+			for ; p < K; p++ {
+				ap := arow[p]
+				brow := bmat[p*N+lo : p*N+lo+w]
+				for j, bv := range brow {
+					crow[j] += ap * bv
+				}
+			}
 		}
 	}
 }

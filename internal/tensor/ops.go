@@ -68,6 +68,7 @@ func AddInPlace(a, b *Tensor) *Tensor {
 	for i := range a.data {
 		a.data[i] += b.data[i]
 	}
+	a.noteMutation()
 	return a
 }
 

@@ -1,0 +1,225 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestPackCacheHitsAcrossIterations verifies the cache's purpose: a
+// recurring packed operand (the decomposed loop's weight shard) packs
+// once, then every later kernel execution against it is a hit — and
+// the bytes never differ from the uncached engine.
+func TestPackCacheHitsAcrossIterations(t *testing.T) {
+	defer SetPackCache(true)
+	SetPackCache(true)
+	rng := rand.New(rand.NewSource(31))
+	x := Rand(rng, 4, 96)
+	w := Rand(rng, 64, 96) // rhs of "mk,nk->mn": packed every run
+	want := ReferenceEinsum("mk,nk->mn", x, w)
+
+	first := Einsum("mk,nk->mn", x, w) // populate (or refresh) the entry
+	hits0 := kernelPackHits.Value()
+	const iters = 20
+	for i := 0; i < iters; i++ {
+		if got := Einsum("mk,nk->mn", x, w); !got.Equal(want) || !first.Equal(want) {
+			t.Fatal("cached pack produced different bytes than the reference")
+		}
+	}
+	if gained := kernelPackHits.Value() - hits0; gained < iters {
+		t.Fatalf("expected >= %d pack hits across iterations, got %g", iters, gained)
+	}
+}
+
+// TestPackCacheInvalidationOnMutation is the staleness regression: any
+// observable mutation of a cached operand — Set, writes through Data,
+// in-place accumulation, or being the output of a kernel — must force
+// a repack, so results always reflect current contents.
+func TestPackCacheInvalidationOnMutation(t *testing.T) {
+	defer SetPackCache(true)
+	SetPackCache(true)
+	rng := rand.New(rand.NewSource(32))
+	const spec = "mk,nk->mn"
+	x := Rand(rng, 4, 64)
+	w := Rand(rng, 32, 64)
+	check := func(stage string) {
+		t.Helper()
+		if got, want := Einsum(spec, x, w), ReferenceEinsum(spec, x, w); !got.Equal(want) {
+			t.Fatalf("%s: kernel served a stale pack (max diff %g)", stage, got.MaxDifference(want))
+		}
+	}
+	check("cold")
+	check("warm")
+
+	w.Set(42.5, 3, 7)
+	check("after Set")
+
+	w.Data()[11] = -3.25
+	check("after write through Data")
+
+	AddInPlace(w, Rand(rng, 32, 64))
+	check("after AddInPlace")
+
+	// A tensor used as a kernel output and then as an operand: run()'s
+	// mutation note must invalidate too.
+	EinsumAddInto(w, "mk,kn->mn", Rand(rng, 32, 16), Rand(rng, 16, 64))
+	check("after being a kernel output")
+}
+
+// TestPackCacheEvictionBound pins the LRU bound: churning more distinct
+// operands than one plan side holds evicts in LRU order instead of
+// growing without bound, and evictions are counted.
+func TestPackCacheEvictionBound(t *testing.T) {
+	defer SetPackCache(true)
+	SetPackCache(true)
+	rng := rand.New(rand.NewSource(33))
+	const spec = "mk,nk->mn" // rhs side packs
+	e, err := einsumLookup(spec)
+	if err != nil || e.plan.rhsPack == nil {
+		t.Fatalf("spec %q did not build an rhs pack cache", spec)
+	}
+	x := Rand(rng, 2, 32)
+	evict0 := kernelPackEvictions.Value()
+	for i := 0; i < packCacheMaxEntries+10; i++ {
+		Einsum(spec, x, Rand(rng, 8, 32))
+	}
+	pc := e.plan.rhsPack
+	pc.mu.Lock()
+	entries, recency := len(pc.entries), len(pc.recency)
+	pc.mu.Unlock()
+	if entries > packCacheMaxEntries || recency != entries {
+		t.Fatalf("pack cache holds %d entries (recency %d), bound %d",
+			entries, recency, packCacheMaxEntries)
+	}
+	if kernelPackEvictions.Value() == evict0 {
+		t.Fatal("eviction churn was not counted")
+	}
+}
+
+// TestPackCacheDisabled verifies the toggle: with the cache off the
+// engine packs into pooled scratch every run, still byte-identical.
+func TestPackCacheDisabled(t *testing.T) {
+	defer SetPackCache(true)
+	rng := rand.New(rand.NewSource(34))
+	x := Rand(rng, 4, 64)
+	w := Rand(rng, 32, 64)
+	SetPackCache(true)
+	on := Einsum("mk,nk->mn", x, w)
+	SetPackCache(false)
+	hits0 := kernelPackHits.Value()
+	off := Einsum("mk,nk->mn", x, w)
+	if kernelPackHits.Value() != hits0 {
+		t.Fatal("disabled cache still served a hit")
+	}
+	if !on.Equal(off) {
+		t.Fatal("cache on/off produced different bytes")
+	}
+}
+
+// TestPackCacheConcurrentUse exercises the cache from concurrent
+// goroutines — shared hits, racing first-fills, and invalidating
+// mutations of a goroutine-private tensor — and is the workload the CI
+// race job runs under -race. Shared tensors are only read; each
+// goroutine mutates its own operand between kernels.
+func TestPackCacheConcurrentUse(t *testing.T) {
+	defer SetPackCache(true)
+	SetPackCache(true)
+	rng := rand.New(rand.NewSource(35))
+	x := Rand(rng, 2, 48)
+	shared := Rand(rng, 24, 48) // cached pack read by every goroutine
+	want := ReferenceEinsum("mk,nk->mn", x, shared)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			own := Rand(rng, 24, 48)
+			for i := 0; i < 50; i++ {
+				if got := Einsum("mk,nk->mn", x, shared); !got.Equal(want) {
+					errs <- fmt.Errorf("shared operand: wrong bytes on iteration %d", i)
+					return
+				}
+				own.Set(rng.Float64(), i%24, i%48)
+				got := Einsum("mk,nk->mn", x, own)
+				ref := ReferenceEinsum("mk,nk->mn", x, own)
+				if !got.Equal(ref) {
+					errs <- fmt.Errorf("private operand: stale pack on iteration %d", i)
+					return
+				}
+			}
+			errs <- nil
+		}(int64(100 + g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGetZeroBufReturnsZeroedPrefix is the pool-poisoning regression:
+// a recycled buffer carries the previous kernel's garbage, including
+// in the oversized tail its power-of-two class rounds up to, so
+// accumulator scratch must come back fully zeroed at the requested
+// length no matter what was recycled.
+func TestGetZeroBufReturnsZeroedPrefix(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		dirty := getBuf(100) // class 7 (128 capacity): tail beyond 100 is junk
+		for i := range *dirty {
+			(*dirty)[i] = 1e9
+		}
+		// Poison the tail the pool rounds up to, then recycle.
+		full := (*dirty)[:cap(*dirty)]
+		for i := range full {
+			full[i] = -1e9
+		}
+		putBuf(dirty)
+		z := getZeroBuf(70) // same class: likely reuses the poisoned buffer
+		if len(*z) != 70 {
+			t.Fatalf("getZeroBuf(70) returned length %d", len(*z))
+		}
+		for i, v := range *z {
+			if v != 0 {
+				t.Fatalf("trial %d: getZeroBuf element %d = %g, want 0", trial, i, v)
+			}
+		}
+		putBuf(z)
+	}
+}
+
+// TestTensorVersionTracking pins which operations count as observable
+// mutations: construction is version 0; Set, Data and AddInPlace bump;
+// read-only accessors do not.
+func TestTensorVersionTracking(t *testing.T) {
+	x := New(2, 3)
+	if x.Version() != 0 {
+		t.Fatalf("fresh tensor version %d, want 0", x.Version())
+	}
+	x.At(1, 2)
+	x.Shape()
+	x.NumElements()
+	if x.Version() != 0 {
+		t.Fatal("read-only accessors bumped the version")
+	}
+	x.Set(1, 0, 0)
+	v1 := x.Version()
+	if v1 == 0 {
+		t.Fatal("Set did not bump the version")
+	}
+	_ = x.Data()
+	v2 := x.Version()
+	if v2 == v1 {
+		t.Fatal("Data did not bump the version (live slice escapes)")
+	}
+	AddInPlace(x, New(2, 3))
+	if x.Version() == v2 {
+		t.Fatal("AddInPlace did not bump the version")
+	}
+}

@@ -42,6 +42,45 @@ func KernelWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// maxKernelSplitK bounds the configurable split factor; the tree
+// combine costs (S-1)·M·N adds, so very large factors only add
+// overhead.
+const maxKernelSplitK = 64
+
+// kernelSplitK holds the configured split-K factor; 0 or 1 means
+// "rows only" (the default — results are then byte-identical to the
+// scalar reference on every spec).
+var kernelSplitK atomic.Int32
+
+// SetKernelSplitK sets the kernel engine's split-K factor: skinny
+// GEMMs (too few output rows to feed the worker pool) partition their
+// contraction into n ranges reduced by a fixed-shape binary tree
+// (see splitk.go). n <= 1 disables splitting. The factor is part of
+// the planned kernel strategy — for a fixed factor, results are
+// byte-identical across worker counts and runs, but different factors
+// legitimately round differently (the tree reassociates the
+// contraction), which is why the autotuner searches and pins it per
+// program (core.Options.KernelSplitK) rather than a heuristic deriving
+// it from the machine.
+func SetKernelSplitK(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > maxKernelSplitK {
+		n = maxKernelSplitK
+	}
+	kernelSplitK.Store(int32(n))
+}
+
+// KernelSplitK returns the configured split-K factor (0 when off).
+func KernelSplitK() int {
+	n := kernelSplitK.Load()
+	if n <= 1 {
+		return 0
+	}
+	return int(n)
+}
+
 var (
 	workerOnce sync.Once
 	workQueue  chan func()

@@ -10,8 +10,13 @@ import (
 // kernel execution — so recycling them keeps the decomposed loop's
 // steady state free of per-step data-sized allocations. Buffers are
 // binned by power-of-two capacity; a returned buffer serves any later
-// request of its class. Contents are not zeroed on reuse: every kernel
-// path fully overwrites its scratch before reading it.
+// request of its class. Contents are not zeroed on reuse: getBuf is for
+// scratch that a kernel path fully overwrites before reading (packed
+// operands), while accumulator scratch — anything a kernel adds into
+// without first storing — must come from getZeroBuf, which clears the
+// requested prefix. A recycled buffer's tail beyond the request is
+// never guaranteed zero (the pool hands back the larger of its class),
+// so no call site may rely on it.
 
 const numBufClasses = 40
 
@@ -34,6 +39,31 @@ func getBuf(n int) *[]float64 {
 	if v := bufClasses[c].Get(); v != nil {
 		p := v.(*[]float64)
 		*p = (*p)[:n]
+		kernelPoolReusedBytes.Add(float64(8 * n))
+		return p
+	}
+	s := make([]float64, 1<<c)
+	s = s[:n]
+	kernelPoolFreshBytes.Add(float64(8 * n))
+	return &s
+}
+
+// getZeroBuf returns a length-n scratch buffer with every element
+// guaranteed zero. Fresh pool misses are already zeroed by make;
+// recycled buffers carry whatever the previous kernel left, including
+// in the oversized tail the pool rounds capacities up to, so the
+// requested prefix is cleared explicitly. Split-K private accumulators
+// depend on this: they are combined into the output without being
+// fully stored first.
+func getZeroBuf(n int) *[]float64 {
+	c := bufClass(n)
+	if v := bufClasses[c].Get(); v != nil {
+		p := v.(*[]float64)
+		*p = (*p)[:n]
+		s := *p
+		for i := range s {
+			s[i] = 0
+		}
 		kernelPoolReusedBytes.Add(float64(8 * n))
 		return p
 	}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 )
 
 // Tensor is a dense, row-major n-dimensional array of float64 values.
@@ -27,6 +28,15 @@ type Tensor struct {
 	shape   []int
 	strides []int
 	data    []float64
+
+	// version counts observed mutations of data after construction. The
+	// kernel engine's pack cache keys packed-operand artifacts by
+	// (tensor identity, version), so every path that can write data —
+	// Set, the live slice handed out by Data, in-place accumulation —
+	// must bump it; a stale version on lookup forces a repack. Atomic
+	// because concurrent device goroutines may call Data on a shared
+	// replicated tensor.
+	version atomic.Uint64
 }
 
 // New returns a zero-filled tensor of the given shape. A nil or empty
@@ -112,8 +122,20 @@ func (t *Tensor) Dim(i int) int { return t.shape[i] }
 func (t *Tensor) NumElements() int { return len(t.data) }
 
 // Data returns the underlying row-major element slice. The slice is the
-// live backing store, not a copy; mutating it mutates the tensor.
-func (t *Tensor) Data() []float64 { return t.data }
+// live backing store, not a copy; mutating it mutates the tensor. The
+// engine must assume the caller will write through it, so handing the
+// slice out counts as a mutation for pack-cache invalidation.
+func (t *Tensor) Data() []float64 {
+	t.noteMutation()
+	return t.data
+}
+
+// Version returns the tensor's mutation counter (see the field comment);
+// cached derivations of the contents are valid only while it is stable.
+func (t *Tensor) Version() uint64 { return t.version.Load() }
+
+// noteMutation records that data was (or may be about to be) written.
+func (t *Tensor) noteMutation() { t.version.Add(1) }
 
 // Clone returns a deep copy of t.
 func (t *Tensor) Clone() *Tensor {
@@ -130,6 +152,7 @@ func (t *Tensor) At(index ...int) float64 {
 // Set stores v at the given multi-dimensional index.
 func (t *Tensor) Set(v float64, index ...int) {
 	t.data[t.offset(index)] = v
+	t.noteMutation()
 }
 
 func (t *Tensor) offset(index []int) int {
