@@ -48,6 +48,10 @@ import (
 )
 
 func main() {
+	// Served runs on the process transport re-execute this binary as
+	// their per-device workers; the hook must run before anything else.
+	overlap.MaybeTransportWorker()
+
 	addr := flag.String("addr", ":8080", "listen address")
 	maxBatch := flag.Int("max-batch", 8, "batcher flush size (requests)")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "batcher flush age: a partial batch waits at most this long")
@@ -67,11 +71,16 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "additionally write every recorded run trace to <dir>/<run-id>.json")
 	kernelWorkers := flag.Int("kernel-workers", 0, "intra-op einsum kernel parallelism (0 = GOMAXPROCS); keyed into every plan fingerprint")
 	kernelSplitK := flag.Int("kernel-splitk", 0, "split-K factor for skinny einsum kernels (0 = off); keyed into every plan fingerprint")
+	transport := flag.String("transport", "chan", "fabric transport of served runs: chan (in-process channels) or proc (one worker process per device over Unix sockets); an operator decision, requests cannot override it")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
 	overlap.SetKernelWorkers(*kernelWorkers)
 	overlap.SetKernelSplitK(*kernelSplitK)
+	tk, err := overlap.ParseTransport(*transport)
+	if err != nil {
+		fail(err)
+	}
 	// Structured logs to stderr: one JSON object per line, every line of
 	// a run's story carrying its run_id.
 	overlap.SetLogOutput(os.Stderr)
@@ -98,6 +107,7 @@ func main() {
 		FlightRecorderSize: *flightSize,
 		FlightKeep:         *flightKeep,
 		TraceDir:           *traceDir,
+		Transport:          tk,
 	})
 	if err != nil {
 		fail(err)

@@ -37,7 +37,15 @@ import (
 	"overlap/internal/tensor"
 )
 
+// transportKind is the fabric transport every run in this process uses,
+// resolved once from -transport in main.
+var transportKind overlap.TransportKind
+
 func main() {
+	// A proc-transport run re-executes this binary as its workers; the
+	// worker hook must run before any flag or model work.
+	overlap.MaybeTransportWorker()
+
 	model := flag.String("model", "GPT_32B", "model name from Table 1 or Table 2")
 	devices := flag.Int("devices", 4, "ring size (goroutine devices)")
 	dim := flag.Int("dim", 8, "miniature per-head dimension (scales every tensor)")
@@ -55,10 +63,17 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 0, "seed for fault-injection jitter (deterministic per seed)")
 	deadline := flag.Duration("deadline", 0, "abort a run that exceeds this wall-clock with a structured error (0 = no deadline)")
 	planIn := flag.String("plan-in", "", "execute a compiled Plan artifact (from overlaptune -plan-out or the daemon's /v1/compile) instead of building a model; zero compilation")
+	transport := flag.String("transport", "chan", "fabric transport: chan (in-process channels) or proc (one worker process per device over Unix sockets)")
 	flag.Parse()
 
 	overlap.SetKernelWorkers(*kernelWorkers)
 	overlap.SetKernelSplitK(*kernelSplitK)
+
+	tk, err := overlap.ParseTransport(*transport)
+	if err != nil {
+		fail(err)
+	}
+	transportKind = tk
 
 	faults, err := overlap.ParseFaults(*faultSpec)
 	if err != nil {
@@ -141,7 +156,7 @@ func runPlan(path string, timeScale float64, traceFile, traceOut string, check, 
 		plan.Fingerprint, plan.Devices, plan.BestName, plan.Created)
 
 	args := randomArgs(c)
-	ropts := overlap.RunOptions{Spec: overlap.TPUv4(), TimeScale: timeScale, Faults: faults}
+	ropts := overlap.RunOptions{Spec: overlap.TPUv4(), TimeScale: timeScale, Faults: faults, Transport: transportKind}
 	if traceFile != "" || traceOut != "" || attrib {
 		ropts.Trace = true
 	}
@@ -243,7 +258,7 @@ func runMode(cfg models.Config, mode string, devices int, timeScale float64, tra
 	}
 
 	args := randomArgs(c)
-	ropts := overlap.RunOptions{Spec: spec, TimeScale: timeScale, Faults: faults}
+	ropts := overlap.RunOptions{Spec: spec, TimeScale: timeScale, Faults: faults, Transport: transportKind}
 	overlapMode := mode == "overlap"
 	writeTrace := traceFile != "" && overlapMode
 	writeArtifact := traceOut != "" && overlapMode

@@ -27,6 +27,10 @@ import (
 )
 
 func main() {
+	// Keep this binary usable as a proc-transport worker (the transport
+	// re-executes its parent); a no-op in ordinary invocations.
+	overlap.MaybeTransportWorker()
+
 	model := flag.String("model", "GPT_32B", "model name from Table 1 or Table 2")
 	devices := flag.Int("devices", 4, "ring size (goroutine devices)")
 	dim := flag.Int("dim", 8, "miniature per-head dimension (scales every tensor)")

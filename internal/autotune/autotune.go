@@ -176,10 +176,14 @@ type Result struct {
 // ApplyBest applies the winning configuration to c in place; when the
 // blocking baseline won it leaves c untouched and returns an empty
 // report. Besides rewriting the program it configures the kernel
-// engine's split-K factor (tensor.SetKernelSplitK) — that knob is part
-// of the tuned decision but acts at execution time, not in the program
-// text, so applying the decision must set it or the measured winner
-// would not be what later runs execute.
+// engine's process-global split-K factor (tensor.SetKernelSplitK) —
+// that knob is part of the tuned decision but acts at execution time,
+// not in the program text, so applying the decision must set it or a
+// later bare Run would not execute the measured winner. Executors that
+// run plans concurrently must not rely on the global: they carry the
+// factor per run via runtime.Options.KernelSplitK (see
+// runtime.ExplicitSplitK), which insulates an executing plan from
+// ApplyBest on another.
 func (r *Result) ApplyBest(c *hlo.Computation) (core.Report, error) {
 	if r.BestIsBaseline {
 		tensor.SetKernelSplitK(0)
@@ -374,19 +378,18 @@ func stage2(res *Result, c *hlo.Computation, numDevices int, args [][]*tensor.Te
 
 	ropts := runtime.Options{Spec: opts.Spec, TimeScale: opts.TimeScale}
 
-	// Each candidate's kernel split-K factor is installed process-wide
-	// around both its interpreter reference and its runtime executions —
-	// the two engines must agree on the factor for the bitwise
-	// cross-check to be meaningful — and the caller's ambient setting is
-	// restored when stage 2 finishes.
-	prevSplitK := tensor.KernelSplitK()
-	defer tensor.SetKernelSplitK(prevSplitK)
+	// Each candidate's kernel split-K factor travels in the run's own
+	// options and in the interpreter's explicit-factor entry point — the
+	// two engines must agree on the factor for the bitwise cross-check
+	// to be meaningful. Nothing touches the process-global knob, so a
+	// tune never perturbs plans executing concurrently elsewhere in the
+	// process (and their ApplyBest never perturbs this tune).
 
 	// One untimed warmup run: the first execution in a process pays for
 	// thread-pool and allocator spin-up that would otherwise be charged
 	// to whichever candidate happens to run first.
 	ropts.RunID = opts.RunID + ".warmup"
-	tensor.SetKernelSplitK(res.Candidates[toRun[0]].Opts.KernelSplitK)
+	ropts.KernelSplitK = runtime.ExplicitSplitK(res.Candidates[toRun[0]].Opts.KernelSplitK)
 	if warm, err := runtime.Run(res.Candidates[toRun[0]].transformed, numDevices, args, ropts); err == nil && warm != nil {
 		res.Executions++
 	}
@@ -394,8 +397,8 @@ func stage2(res *Result, c *hlo.Computation, numDevices int, args [][]*tensor.Te
 	best := -1
 	for _, i := range toRun {
 		cand := &res.Candidates[i]
-		tensor.SetKernelSplitK(cand.Opts.KernelSplitK)
-		want, err := sim.Interpret(cand.transformed, numDevices, args)
+		ropts.KernelSplitK = runtime.ExplicitSplitK(cand.Opts.KernelSplitK)
+		want, err := sim.InterpretSplitK(cand.transformed, numDevices, args, cand.Opts.KernelSplitK)
 		if err != nil {
 			return fmt.Errorf("autotune: interpreting %s: %w", cand.Name, err)
 		}

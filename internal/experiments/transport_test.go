@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"overlap/internal/machine"
+	"overlap/internal/runtime"
+)
+
+// TestMain lets the proc transport re-execute this test binary as its
+// per-device workers during the transport experiment.
+func TestMain(m *testing.M) {
+	runtime.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestTransportShape runs the transport comparison at miniature sizes:
+// both transports must produce positive step times, the efficiency
+// series must be well-formed, and the report must carry one row per
+// transport.
+func TestTransportShape(t *testing.T) {
+	p := transportParams{devices: 2, m: 2, k: 256, n: 16, reps: 1, timeScale: 50}
+	text, series, err := transportCompare(machine.TPUv4(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("got %d series entries, want 3 (chan eff, proc eff, step ratio)", len(series))
+	}
+	for i, v := range series[:2] {
+		if v < 0 || v > 1 {
+			t.Fatalf("efficiency %d = %g out of [0,1]", i, v)
+		}
+	}
+	if series[2] <= 0 {
+		t.Fatalf("proc/chan step ratio %g is not positive", series[2])
+	}
+	for _, label := range []string{"chan", "proc", "overlap efficiency"} {
+		if !strings.Contains(text, label) {
+			t.Fatalf("report is missing %q:\n%s", label, text)
+		}
+	}
+}

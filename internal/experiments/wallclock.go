@@ -89,7 +89,7 @@ func wallclock(spec machine.Spec, p wallclockParams) (string, []float64, error) 
 		tensor.SetKernelSplitK(v.splitK)
 		best := 0.0
 		for rep := 0; rep <= p.reps; rep++ {
-			res, err := runtime.Run(c, p.devices, args, runtime.Options{})
+			res, err := runtime.Run(c, p.devices, args, runtime.Options{Transport: DefaultTransport})
 			if err != nil {
 				return "", nil, err
 			}

@@ -123,15 +123,17 @@ func TestChaosSoak(t *testing.T) {
 	mods := buildChaosModels(t, n)
 
 	// Fault-free control: each model's concurrent execution must stay
-	// bit-identical to the interpreter.
+	// bit-identical to the interpreter, on both transports.
 	for _, m := range mods {
-		res, err := runtime.Run(m.comp, m.n, m.args, runtime.Options{})
-		if err != nil {
-			t.Fatalf("%s fault-free: %v", m.name, err)
-		}
-		for d := range m.ref {
-			if !res.Values[d].Equal(m.ref[d]) {
-				t.Fatalf("%s fault-free: device %d diverges from the interpreter", m.name, d)
+		for _, tr := range []runtime.TransportKind{runtime.TransportChan, runtime.TransportProc} {
+			res, err := runtime.Run(m.comp, m.n, m.args, runtime.Options{Transport: tr})
+			if err != nil {
+				t.Fatalf("%s fault-free (%s): %v", m.name, tr, err)
+			}
+			for d := range m.ref {
+				if !res.Values[d].Equal(m.ref[d]) {
+					t.Fatalf("%s fault-free (%s): device %d diverges from the interpreter", m.name, tr, d)
+				}
 			}
 		}
 	}
@@ -164,13 +166,21 @@ func TestChaosSoak(t *testing.T) {
 			deadline = stallDeadline
 		}
 
-		t.Run(fmt.Sprintf("%03d-%s-%s", i, m.name, kind), func(t *testing.T) {
+		// Every 8th scenario exercises the process transport, so the
+		// soak's graceful-failure contract is pinned on real sockets
+		// too without multiplying its wall-clock by process spawns.
+		transport := runtime.TransportChan
+		if i%8 == 0 {
+			transport = runtime.TransportProc
+		}
+
+		t.Run(fmt.Sprintf("%03d-%s-%s-%s", i, m.name, kind, transport), func(t *testing.T) {
 			plan := &runtime.FaultPlan{Seed: int64(i), Faults: []runtime.Fault{fault}}
 			ctx, cancel := context.WithTimeout(context.Background(), deadline)
 			defer cancel()
 
 			t0 := time.Now()
-			res, err := runtime.RunContext(ctx, m.comp, m.n, m.args, runtime.Options{Faults: plan})
+			res, err := runtime.RunContext(ctx, m.comp, m.n, m.args, runtime.Options{Faults: plan, Transport: transport})
 			elapsed := time.Since(t0)
 
 			if err == nil {

@@ -28,6 +28,12 @@ type engine struct {
 	inj     *injector
 	devices []*device
 
+	// splitK is Options.KernelSplitK resolved into the tensor layer's
+	// encoding (SplitKInherit / 0 / factor), threaded through every
+	// sim.EvalLocalSplitK call so the run never consults the mutable
+	// process-global knob mid-flight.
+	splitK int
+
 	mu    sync.Mutex
 	gens  map[rvKey]*genState
 	abort chan struct{}
@@ -38,7 +44,7 @@ type engine struct {
 	failedAt time.Time
 }
 
-func newEngine(c *hlo.Computation, numDevices int, opts Options) *engine {
+func newEngine(c *hlo.Computation, numDevices int, opts Options) (*engine, error) {
 	e := &engine{
 		comp:  c,
 		n:     numDevices,
@@ -46,11 +52,23 @@ func newEngine(c *hlo.Computation, numDevices int, opts Options) *engine {
 		gens:  map[rvKey]*genState{},
 		abort: make(chan struct{}),
 	}
+	switch {
+	case opts.KernelSplitK == 0:
+		e.splitK = tensor.SplitKInherit
+	case opts.KernelSplitK == 1:
+		e.splitK = 0
+	default:
+		e.splitK = opts.KernelSplitK
+	}
 	if opts.Faults != nil && len(opts.Faults.Faults) > 0 {
 		e.inj = newInjector(opts.Faults)
 	}
-	e.fabric = newFabric(e)
-	return e
+	f, err := newFabric(e)
+	if err != nil {
+		return nil, err
+	}
+	e.fabric = f
+	return e, nil
 }
 
 // fail records the first error and releases every blocked goroutine.
@@ -103,6 +121,18 @@ func (e *engine) run(ctx context.Context, args [][]*tensor.Tensor) (*Result, err
 	}
 
 	e.epoch = time.Now()
+	// Bring the transport's data plane up before any device goroutine
+	// exists: a worker-spawn failure becomes a structured run error, not
+	// a fleet of devices blocked on a fabric that never formed. The
+	// transport tears its own partial state down on failure, so the
+	// normal shutdown below must not run again.
+	if err := e.fabric.start(); err != nil {
+		e.fail(&RunError{
+			Device: -1, Phase: PhaseTransport,
+			Elapsed: e.sinceDur(), Err: err,
+		})
+		return nil, e.err
+	}
 	var wg sync.WaitGroup
 	for d := 0; d < e.n; d++ {
 		dev := newDevice(e, d)

@@ -1,7 +1,9 @@
 package runtime
 
 import (
+	"context"
 	"errors"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -21,7 +23,13 @@ func TestPostMissingLinkFailsFast(t *testing.T) {
 	start := c.CollectivePermuteStart(a, []hlo.SourceTargetPair{{Source: 0, Target: 1}})
 	c.CollectivePermuteDone(start)
 
-	e := newEngine(c, 4, Options{})
+	e, err := newEngine(c, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.fabric.start(); err != nil {
+		t.Fatal(err)
+	}
 	defer e.fabric.shutdown()
 
 	done := make(chan bool, 1)
@@ -51,6 +59,45 @@ func TestPostMissingLinkFailsFast(t *testing.T) {
 	for _, frag := range []string{"0->3", start.Name} {
 		if !strings.Contains(re.Error(), frag) {
 			t.Fatalf("error %q does not name %q", re.Error(), frag)
+		}
+	}
+}
+
+// TestMailboxMapsBounded pins the fabric's watermark pruning: a loop
+// executing the same permute start many times must leave the mailbox
+// and delivered maps empty and the watermark map at one entry per
+// distinct start — O(in-flight) bookkeeping, not one entry per
+// instance for the life of the run. Before pruning, each consumed
+// instance left its delivered mark behind forever, so this loop would
+// end with as many entries as iterations.
+func TestMailboxMapsBounded(t *testing.T) {
+	const iters = 64
+	body := hlo.NewComputation("body")
+	p0 := body.Parameter(0, "p0", []int{4})
+	start := body.CollectivePermuteStart(p0, []hlo.SourceTargetPair{{Source: 0, Target: 1}, {Source: 1, Target: 0}})
+	done := body.CollectivePermuteDone(start)
+	body.Tuple(done)
+
+	c := hlo.NewComputation("bounded")
+	x := c.Parameter(0, "x", []int{4})
+	c.Loop(body, iters, 0, x)
+
+	e, err := newEngine(c, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	args := [][]*tensor.Tensor{{tensor.Rand(rng, 4), tensor.Rand(rng, 4)}}
+	if _, err := e.run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 2; d++ {
+		mail, delivered, marks := e.fabric.mailboxSizes(d)
+		if mail != 0 || delivered != 0 {
+			t.Fatalf("device %d: %d mailbox and %d delivered entries survive the run, want 0/0", d, mail, delivered)
+		}
+		if marks > 1 {
+			t.Fatalf("device %d: %d watermark entries for 1 distinct start across %d instances", d, marks, iters)
 		}
 	}
 }

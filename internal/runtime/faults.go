@@ -22,6 +22,10 @@ const (
 	PhasePost       Phase = "post"
 	PhaseReceive    Phase = "receive"
 	PhaseRendezvous Phase = "rendezvous"
+	// PhaseTransport marks failures of the transport layer itself —
+	// spawning worker processes, the socket data plane — rather than of
+	// any one device's pipeline position.
+	PhaseTransport Phase = "transport"
 )
 
 // RunError is the structured failure every aborted run surfaces: which
@@ -97,6 +101,9 @@ var (
 	ErrInjectedCrash     = errors.New("injected device crash")
 	ErrDuplicateDelivery = errors.New("duplicate transfer delivery")
 	ErrMissingLink       = errors.New("no fabric link for edge")
+	// ErrWorkerExit marks a process-transport worker that died (or whose
+	// socket broke) while the run was still live.
+	ErrWorkerExit = errors.New("transport worker exited for device")
 )
 
 // FaultKind classifies one injected fault.

@@ -22,6 +22,21 @@ var (
 		"Payload bytes posted onto link goroutines.")
 )
 
+// Process-transport instrumentation: the serialization boundary the
+// socket fabric adds over the in-process one, plus the worker fleet.
+var (
+	rtSerializeSpans = obs.Default().Histogram("overlap_runtime_serialize_span_seconds",
+		"Wall-clock duration of tensor-frame encodes onto worker sockets.", obs.TimeBuckets())
+	rtDeserializeSpans = obs.Default().Histogram("overlap_runtime_deserialize_span_seconds",
+		"Wall-clock duration of tensor-frame decodes off worker sockets.", obs.TimeBuckets())
+	rtWireFrames = obs.Default().Counter("overlap_runtime_wire_frames_total",
+		"Tensor frames written to process-transport sockets by the parent.")
+	rtWireFrameBytes = obs.Default().Counter("overlap_runtime_wire_frame_bytes_total",
+		"Tensor payload bytes written to process-transport sockets by the parent.")
+	rtTransportWorkers = obs.Default().Counter("overlap_runtime_transport_workers_total",
+		"Worker processes spawned by the process transport.")
+)
+
 // Fault-injection and abort-path telemetry: how often injected faults
 // fired (by kind), how often runs aborted (and why), and how fast the
 // abort path wound the goroutine fleet down once the first error hit.

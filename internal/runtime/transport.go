@@ -1,0 +1,115 @@
+package runtime
+
+import (
+	"time"
+
+	"overlap/internal/sim"
+)
+
+// TransportKind selects the fabric implementation a run's transfers
+// move over.
+type TransportKind string
+
+const (
+	// TransportChan is the in-process fabric: one buffered Go channel
+	// per directed edge, serviced by a link goroutine that imposes the
+	// modeled wire time. The zero value of Options.Transport resolves
+	// here.
+	TransportChan TransportKind = "chan"
+
+	// TransportProc runs each communicating logical device as its own
+	// spawned OS process: tensors leave the parent as length-prefixed
+	// binary frames, cross a Unix socket into the source device's
+	// worker, sleep the modeled wire time there, cross a second socket
+	// to the destination device's worker, and come back up to the
+	// parent for delivery. Link faults (drop/dup/delay) act inside the
+	// workers — below the mailbox layer, on the real sockets.
+	TransportProc TransportKind = "proc"
+)
+
+// ParseTransport maps a CLI/API string onto a TransportKind; the empty
+// string is the channel transport.
+func ParseTransport(s string) (TransportKind, error) {
+	switch TransportKind(s) {
+	case "", TransportChan:
+		return TransportChan, nil
+	case TransportProc:
+		return TransportProc, nil
+	}
+	return "", formatErr("unknown transport %q (want %q or %q)", s, TransportChan, TransportProc)
+}
+
+// transport is the movement half of the fabric: it carries one posted
+// parcel from its source device to the destination mailbox, imposing
+// the modeled wire time and acting out the run's link faults on the
+// way. Everything above it — mailbox addressing, at-most-once
+// enforcement, watermark pruning, the missing-link check — stays in
+// the fabric, shared by every implementation, which is what keeps the
+// bitwise cross-check against sim.Interpret transport-independent.
+type transport interface {
+	// start brings the data plane up for the program's directed edges.
+	// Called once, before any device goroutine runs; an error fails
+	// the run before it starts.
+	start(edges [][2]int) error
+
+	// post hands one parcel to the edge's wire without waiting for it.
+	// It may block while the edge's queue is full but must return
+	// false instead of blocking forever once the run aborts.
+	post(src, dst int, p parcel) bool
+
+	// shutdown tears the data plane down — goroutines joined, worker
+	// processes reaped — after every device goroutine has returned.
+	shutdown()
+
+	// traceEvents returns the transfer-layer spans recorded during the
+	// run. Only called after shutdown, when nothing appends.
+	traceEvents() []sim.TraceEvent
+}
+
+// newTransport constructs the configured transport for one engine.
+func newTransport(e *engine, f *fabric) (transport, error) {
+	switch e.opts.Transport {
+	case "", TransportChan:
+		return newChanTransport(e, f), nil
+	case TransportProc:
+		return newProcTransportChecked(e, f)
+	}
+	return nil, formatErr("unknown transport %q", e.opts.Transport)
+}
+
+// faultActions resolves the injector's decision for the k-th parcel on
+// one edge: whether to drop it, duplicate it, and how much extra wire
+// delay to add (nanoseconds). The decision (and its telemetry) is made
+// exactly once per parcel, in the parent, from the run's seeded plan —
+// transports only act it out, which keeps fault sequences and their
+// attribution identical across transports and across runs.
+func (e *engine) faultActions(lf *linkFaults, instr string) (drop bool, dup *Fault, extra int64) {
+	if lf == nil {
+		return false, nil, 0
+	}
+	k := lf.next()
+	if flt, ok := lf.drops[k]; ok {
+		e.inj.record(flt, instr)
+		rtFaultDrops.Inc()
+		return true, nil, 0
+	}
+	for _, flt := range lf.delays {
+		if flt.K >= 0 && flt.K != k {
+			continue
+		}
+		add := flt.Delay
+		if flt.Jitter > 0 {
+			add += time.Duration(lf.rng.Float64() * float64(flt.Jitter))
+		}
+		extra += add.Nanoseconds()
+		e.inj.record(flt, instr)
+		rtFaultDelays.Inc()
+	}
+	if flt, ok := lf.dups[k]; ok {
+		flt := flt
+		e.inj.record(flt, instr)
+		rtFaultDuplicates.Inc()
+		dup = &flt
+	}
+	return false, dup, extra
+}

@@ -1,0 +1,110 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"overlap/internal/sim"
+)
+
+// chanLink is one directed (src,dst) connection of the in-process
+// transport: a buffered channel plus a goroutine that imposes the
+// modeled wire time. Because every parcel for the edge passes through
+// one goroutine, transfers on the same link serialize — the property
+// that makes the injected delays compose like real link occupancy.
+type chanLink struct {
+	src, dst int
+	ch       chan parcel
+	trace    []sim.TraceEvent
+}
+
+// chanTransport is the original fabric data plane: per-edge buffered Go
+// channels serviced by link goroutines, all inside the parent process.
+type chanTransport struct {
+	eng   *engine
+	fab   *fabric
+	links map[[2]int]*chanLink
+	wg    sync.WaitGroup
+}
+
+func newChanTransport(e *engine, f *fabric) *chanTransport {
+	return &chanTransport{eng: e, fab: f, links: map[[2]int]*chanLink{}}
+}
+
+// start spins up one link goroutine per directed edge.
+func (t *chanTransport) start(edges [][2]int) error {
+	for _, edge := range edges {
+		l := &chanLink{src: edge[0], dst: edge[1], ch: make(chan parcel, linkBuffer)}
+		t.links[edge] = l
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serve(l)
+		}()
+	}
+	return nil
+}
+
+// serve is one link goroutine: drain parcels in order, hold the wire for
+// the modeled time, deliver into the destination mailbox. Sleeping here
+// releases the OS thread, so device goroutines compute while transfers
+// are in flight — including on a single-core host. The sleep selects
+// against the engine's abort so a failed run never waits out an
+// in-flight transfer, and the injector can drop, duplicate, or delay
+// individual deliveries at this choke point.
+func (t *chanTransport) serve(l *chanLink) {
+	e := t.eng
+	lf := e.injLink(l.src, l.dst)
+	for p := range l.ch {
+		start := e.since()
+		wire := e.transferDelay(p.bytes)
+		drop, dup, extra := e.faultActions(lf, p.key.start.Name)
+		if drop {
+			continue // lost on the wire: never delivered
+		}
+		wire += time.Duration(extra)
+		if !e.sleep(wire) {
+			continue // aborted mid-wire: keep draining without sleeping
+		}
+		if e.opts.Trace && l.src < e.traceWindow() {
+			l.trace = append(l.trace, sim.TraceEvent{
+				Name: p.key.start.Name, Cat: "transfer", Ph: "X",
+				TS: start * 1e6, Dur: (e.since() - start) * 1e6,
+				PID: l.src, TID: sim.TraceTIDTransfer,
+			})
+		}
+		t.fab.deliver(l.dst, p.key, p.data, "")
+		if dup != nil {
+			t.fab.deliver(l.dst, p.key, p.data, dup.String())
+		}
+	}
+}
+
+// post enqueues a transfer on its link channel without waiting for the
+// wire.
+func (t *chanTransport) post(src, dst int, p parcel) bool {
+	l := t.links[[2]int{src, dst}]
+	select {
+	case l.ch <- p:
+		return true
+	case <-t.eng.abort:
+		return false
+	}
+}
+
+// shutdown closes every link and joins the link goroutines.
+func (t *chanTransport) shutdown() {
+	for _, l := range t.links {
+		close(l.ch)
+	}
+	t.wg.Wait()
+}
+
+// traceEvents merges the per-link transfer spans.
+func (t *chanTransport) traceEvents() []sim.TraceEvent {
+	var out []sim.TraceEvent
+	for _, l := range t.links {
+		out = append(out, l.trace...)
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+//go:build unix
+
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"overlap/internal/obs"
+	"overlap/internal/runtime/wire"
+	"overlap/internal/sim"
+	"overlap/internal/tensor"
+)
+
+// procTransport runs the fabric's data plane across OS processes: each
+// logical device that touches at least one directed edge gets its own
+// spawned worker process (a re-exec of this binary, gated by
+// MaybeWorker's environment variable), and a transfer crosses three
+// Unix sockets on its way from post to deliver:
+//
+//	parent ──frame──▶ worker[src] ──frame──▶ worker[dst] ──frame──▶ parent
+//	 (serialize)        (wire sleep,           (forward up)          (deserialize,
+//	                     drop/dup act here)                           deliver)
+//
+// The parent keeps everything that must stay deterministic: fault
+// decisions come from the run's seeded injector before the frame goes
+// down (the worker only acts them out, on the real sockets), and
+// mailbox addressing never leaves the fabric. Compute stays on the
+// parent's device goroutines — the workers are fabric endpoints, which
+// is exactly the slice of the system a multi-machine deployment would
+// move onto the network first.
+type procTransport struct {
+	eng *engine
+	fab *fabric
+
+	workers map[int]*procWorker
+	edges   map[[2]int]*procEdge
+
+	closing atomic.Bool
+	sendWG  sync.WaitGroup
+	readWG  sync.WaitGroup
+
+	// pending matches a posted frame to its delivery for the transfer
+	// trace span (only touched when tracing is on).
+	pendMu  sync.Mutex
+	pending map[pendingKey]float64
+}
+
+type pendingKey struct {
+	name     string
+	inst     int
+	src, dst int
+}
+
+// procWorker is the parent's handle on one spawned device process.
+type procWorker struct {
+	id      int
+	cmd     *exec.Cmd
+	control *os.File   // parent end of the control socketpair
+	writeMu sync.Mutex // serializes outbound frames on the control socket
+	trace   []sim.TraceEvent
+}
+
+// procEdge is the parent-side queue for one directed edge, mirroring
+// the channel transport's link: per-edge ordering (and therefore wire
+// serialization) is preserved because one sender goroutine drains it.
+type procEdge struct {
+	src, dst int
+	ch       chan parcel
+	trace    []sim.TraceEvent
+}
+
+func newProcTransportChecked(e *engine, f *fabric) (transport, error) {
+	return newProcTransport(e, f), nil
+}
+
+func newProcTransport(e *engine, f *fabric) *procTransport {
+	return &procTransport{
+		eng:     e,
+		fab:     f,
+		workers: map[int]*procWorker{},
+		edges:   map[[2]int]*procEdge{},
+		pending: map[pendingKey]float64{},
+	}
+}
+
+// workerEnv gates worker mode in a re-exec'd binary; workerEdgesEnv
+// describes the worker's edge file descriptors. See MaybeWorker.
+const (
+	workerEnv      = "OVERLAP_PROC_WORKER"
+	workerEdgesEnv = "OVERLAP_PROC_EDGES"
+)
+
+// start spawns one worker per participating device, wires the edge
+// socketpairs between them, and brings up the parent's per-edge sender
+// and per-worker reader goroutines. Any failure tears down what was
+// already spawned and fails the run before a device goroutine starts.
+func (t *procTransport) start(edges [][2]int) error {
+	type edgeFDs struct {
+		spec string // "o:<peer>:<fd>" / "i:<peer>:<fd>" fragments
+		fds  []*os.File
+	}
+	perWorker := map[int]*edgeFDs{}
+	worker := func(id int) *edgeFDs {
+		w, ok := perWorker[id]
+		if !ok {
+			w = &edgeFDs{}
+			perWorker[id] = w
+		}
+		return w
+	}
+	fail := func(err error) error {
+		for _, w := range perWorker {
+			for _, f := range w.fds {
+				f.Close()
+			}
+		}
+		t.shutdown()
+		return formatErr("proc transport: %w", err)
+	}
+
+	for _, edge := range edges {
+		src, dst := edge[0], edge[1]
+		fds, err := socketpair()
+		if err != nil {
+			return fail(err)
+		}
+		// Both ends travel to children (blocking is fine here — each
+		// child flips its own inherited copy); the parent only holds
+		// them until Start. Child fd numbers start at 3: fd 3 is the
+		// control socket, the edge fds follow in ExtraFiles order.
+		outEnd := os.NewFile(uintptr(fds[0]), "edge-out")
+		inEnd := os.NewFile(uintptr(fds[1]), "edge-in")
+		ws, wd := worker(src), worker(dst)
+		ws.fds = append(ws.fds, outEnd)
+		ws.spec += fmt.Sprintf("o:%d:%d,", dst, 3+len(ws.fds))
+		wd.fds = append(wd.fds, inEnd)
+		wd.spec += fmt.Sprintf("i:%d:%d,", src, 3+len(wd.fds))
+		t.edges[edge] = &procEdge{src: src, dst: dst, ch: make(chan parcel, linkBuffer)}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		return fail(err)
+	}
+	for id, wf := range perWorker {
+		fds, err := socketpair()
+		if err != nil {
+			return fail(err)
+		}
+		// The parent's end is poller-registered so shutdown's Close
+		// wakes the reader goroutine; the child's end stays blocking
+		// until the worker flips its own copy.
+		childCtl := os.NewFile(uintptr(fds[1]), "control-child")
+		parentCtl, err := pollableFile(fds[0], "control-parent")
+		if err != nil {
+			childCtl.Close()
+			return fail(err)
+		}
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			fmt.Sprintf("%s=%d", workerEnv, id),
+			fmt.Sprintf("%s=%s", workerEdgesEnv, strings.TrimSuffix(wf.spec, ",")),
+		)
+		cmd.ExtraFiles = append([]*os.File{childCtl}, wf.fds...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			parentCtl.Close()
+			childCtl.Close()
+			return fail(err)
+		}
+		// The child holds its own duplicates now.
+		childCtl.Close()
+		for _, f := range wf.fds {
+			f.Close()
+		}
+		wf.fds = nil
+		w := &procWorker{id: id, cmd: cmd, control: parentCtl}
+		t.workers[id] = w
+		rtTransportWorkers.Inc()
+		obs.Log().Debug("runtime.worker_spawn", "run_id", t.eng.opts.RunID,
+			"device", id, "pid", cmd.Process.Pid)
+	}
+
+	for _, l := range t.edges {
+		l := l
+		t.sendWG.Add(1)
+		go func() {
+			defer t.sendWG.Done()
+			t.serveEdge(l)
+		}()
+	}
+	for _, w := range t.workers {
+		w := w
+		t.readWG.Add(1)
+		go func() {
+			defer t.readWG.Done()
+			t.readWorker(w)
+		}()
+	}
+	return nil
+}
+
+// post enqueues a transfer on its edge queue without waiting for the
+// wire.
+func (t *procTransport) post(src, dst int, p parcel) bool {
+	l := t.edges[[2]int{src, dst}]
+	select {
+	case l.ch <- p:
+		return true
+	case <-t.eng.abort:
+		return false
+	}
+}
+
+// serveEdge drains one edge queue: decide the parcel's fault actions
+// from the seeded injector, serialize the tensor into a frame, and send
+// it down the source worker's control socket. Wire pacing happens in
+// the worker; serialization cost is measured here, as a span and a
+// histogram sample, because it is the genuinely new cost the process
+// fabric adds over the channel one.
+func (t *procTransport) serveEdge(l *procEdge) {
+	e := t.eng
+	lf := e.injLink(l.src, l.dst)
+	w := t.workers[l.src]
+	traced := e.opts.Trace && l.src < e.traceWindow()
+	for p := range l.ch {
+		wireDur := e.transferDelay(p.bytes)
+		drop, dup, extra := e.faultActions(lf, p.key.start.Name)
+		fr := wire.Frame{
+			Src: l.src, Dst: l.dst,
+			Name:   p.key.start.Name,
+			Inst:   p.key.inst,
+			WireNS: wireDur.Nanoseconds() + extra,
+			Shape:  p.data.Shape(),
+			Data:   p.data.Data(),
+		}
+		if drop {
+			fr.Flags |= wire.FlagDrop
+		}
+		if dup != nil {
+			fr.Flags |= wire.FlagDup
+			fr.Fault = dup.String()
+		}
+		t0 := e.since()
+		w.writeMu.Lock()
+		err := wire.WriteFrame(w.control, &fr)
+		w.writeMu.Unlock()
+		ser := e.since() - t0
+		rtSerializeSpans.Observe(ser)
+		rtWireFrames.Inc()
+		rtWireFrameBytes.Add(float64(8 * len(fr.Data)))
+		if err != nil {
+			if !t.closing.Load() {
+				e.fail(&RunError{
+					Device: l.src, Instr: p.key.start.Name, Phase: PhasePost,
+					Elapsed: e.sinceDur(),
+					Err:     formatErr("%w %d: %v", ErrWorkerExit, l.src, err),
+				})
+			}
+			continue // keep draining so posters never block forever
+		}
+		if traced {
+			l.trace = append(l.trace, sim.TraceEvent{
+				Name: p.key.start.Name, Cat: "serialize", Ph: "X",
+				TS: t0 * 1e6, Dur: ser * 1e6,
+				PID: l.src, TID: sim.TraceTIDTransfer,
+			})
+			if !drop {
+				t.pendMu.Lock()
+				t.pending[pendingKey{fr.Name, fr.Inst, l.src, l.dst}] = t0
+				t.pendMu.Unlock()
+			}
+		}
+	}
+}
+
+// readWorker drains one worker's control socket: every frame coming up
+// is a transfer that finished its socket journey, deserialized here and
+// handed to the fabric for delivery. An EOF or read error while the run
+// is still live means the worker died — a real fabric failure, surfaced
+// as a structured *RunError attributed to that device.
+func (t *procTransport) readWorker(w *procWorker) {
+	e := t.eng
+	var fr wire.Frame
+	for {
+		err := wire.ReadFrame(w.control, &fr)
+		if err != nil {
+			if t.closing.Load() {
+				return
+			}
+			cause := err
+			if err == io.EOF {
+				cause = formatErr("control socket closed")
+			}
+			e.fail(&RunError{
+				Device: w.id, Phase: PhaseReceive,
+				Elapsed: e.sinceDur(),
+				Err:     formatErr("%w %d: %v", ErrWorkerExit, w.id, cause),
+			})
+			return
+		}
+		t0 := e.since()
+		// FromValues copies, so the frame's buffers are reusable.
+		data := tensor.FromValues(fr.Shape, fr.Data)
+		des := e.since() - t0
+		rtDeserializeSpans.Observe(des)
+		if e.opts.Trace && w.id < e.traceWindow() {
+			w.trace = append(w.trace, sim.TraceEvent{
+				Name: fr.Name, Cat: "deserialize", Ph: "X",
+				TS: t0 * 1e6, Dur: des * 1e6,
+				PID: w.id, TID: sim.TraceTIDTransfer,
+			})
+			t.pendMu.Lock()
+			if post, ok := t.pending[pendingKey{fr.Name, fr.Inst, fr.Src, fr.Dst}]; ok {
+				delete(t.pending, pendingKey{fr.Name, fr.Inst, fr.Src, fr.Dst})
+				w.trace = append(w.trace, sim.TraceEvent{
+					Name: fr.Name, Cat: "transfer", Ph: "X",
+					TS: post * 1e6, Dur: (e.since() - post) * 1e6,
+					PID: fr.Src, TID: sim.TraceTIDTransfer,
+				})
+			}
+			t.pendMu.Unlock()
+		}
+		t.fab.deliverNamed(fr.Dst, fr.Name, fr.Inst, data, fr.Fault)
+	}
+}
+
+// shutdown winds the process fabric down: stop the senders, close the
+// control sockets (the workers exit on EOF), join the readers, and reap
+// every worker — escalating to SIGKILL only if a worker ignores the
+// close for longer than the grace period.
+func (t *procTransport) shutdown() {
+	t.closing.Store(true)
+	for _, l := range t.edges {
+		close(l.ch)
+	}
+	t.sendWG.Wait()
+	for _, w := range t.workers {
+		w.control.Close()
+	}
+	t.readWG.Wait()
+	for _, w := range t.workers {
+		done := make(chan struct{})
+		go func(w *procWorker) {
+			_ = w.cmd.Wait()
+			close(done)
+		}(w)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			_ = w.cmd.Process.Kill()
+			<-done
+		}
+	}
+}
+
+// traceEvents merges the per-edge serialize spans and per-worker
+// deserialize/transfer spans.
+func (t *procTransport) traceEvents() []sim.TraceEvent {
+	var out []sim.TraceEvent
+	for _, l := range t.edges {
+		out = append(out, l.trace...)
+	}
+	for _, w := range t.workers {
+		out = append(out, w.trace...)
+	}
+	return out
+}
+
+// workerPids lists the live worker process IDs (test hook for the
+// no-leaked-processes assertions).
+func (t *procTransport) workerPids() []int {
+	var pids []int
+	for _, w := range t.workers {
+		if w.cmd.Process != nil {
+			pids = append(pids, w.cmd.Process.Pid)
+		}
+	}
+	return pids
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package runtime
+
+// The process transport needs Unix sockets and fd inheritance; on other
+// platforms constructing it fails cleanly and MaybeWorker is a no-op.
+
+func newProcTransportChecked(e *engine, f *fabric) (transport, error) {
+	return nil, formatErr("transport %q requires a unix platform", TransportProc)
+}
+
+// MaybeWorker is a no-op on platforms without the process transport.
+func MaybeWorker() {}

@@ -1,0 +1,225 @@
+// Package wire is the frame codec of the process transport: it moves
+// one asynchronous transfer — addressed by its start instruction's name
+// and per-device execution count — across a Unix socket as one
+// length-prefixed binary frame.
+//
+// Layout (all integers little-endian):
+//
+//	u32  payload length (bytes after this field)
+//	u8   version (wireVersion)
+//	u8   flags (drop / dup, pre-decided by the parent's injector)
+//	u32  src device
+//	u32  dst device
+//	u64  modeled wire occupancy, nanoseconds
+//	u16  start-instruction name length, then the name bytes
+//	u16  fault description length, then the bytes (the injected fault
+//	     a duplicated frame is attributed to; usually empty)
+//	u32  inst (per-device execution count of the start)
+//	u32  rank, then rank × u32 dims
+//	     dims-product × u64 IEEE-754 float64 payload
+//
+// Writes assemble the whole frame in one pooled scratch buffer and hand
+// it to the socket as a single Write, so a frame is never interleaved
+// with another writer's on a shared socket as long as callers serialize
+// Writes per socket (the transport does). Reads use the same pool for
+// the raw bytes; the float64 payload is decoded into a fresh slice
+// because the delivered tensor owns it for the rest of the run.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Version pins the frame layout; a reader rejects frames from a
+// mismatched writer instead of misparsing them.
+const Version = 1
+
+// Flags carried in a frame header: fault actions the parent decided
+// (deterministically, from the run's seeded plan) that the worker must
+// act out on the real socket.
+const (
+	// FlagDrop: lose the frame at the wire — the worker consumes it and
+	// never forwards it to the peer.
+	FlagDrop = 1 << 0
+	// FlagDup: deliver twice — the worker writes the frame to the peer
+	// two times back to back.
+	FlagDup = 1 << 1
+)
+
+// MaxFrameBytes bounds one frame (1 GiB). A length prefix beyond it is
+// a corrupt or hostile stream, rejected before any allocation.
+const MaxFrameBytes = 1 << 30
+
+// maxNameLen bounds the start-instruction name; hlo names are short.
+const maxNameLen = 1 << 15
+
+// Frame is one transfer instance in flight between processes.
+type Frame struct {
+	Src, Dst int
+	// Name and Inst address the transfer instance: the start
+	// instruction's name (portable across process boundaries, unlike
+	// the *hlo.Instruction the in-process mailboxes key on) and the
+	// per-device execution count.
+	Name string
+	Inst int
+	// WireNS is the modeled wire occupancy the worker sleeps before
+	// forwarding, in nanoseconds.
+	WireNS int64
+	// Flags carries pre-decided fault actions (FlagDrop, FlagDup).
+	Flags uint8
+	// Fault describes the injected fault behind a FlagDup/FlagDrop
+	// frame (Fault.String form), so a detected duplicate delivery on
+	// the far side is attributed to the injection that caused it.
+	Fault string
+	// Shape and Data are the tensor payload.
+	Shape []int
+	Data  []float64
+}
+
+// scratch pools the raw byte buffers of the encode/decode hot path.
+var scratch = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getScratch(n int) *[]byte {
+	p := scratch.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putScratch(p *[]byte) {
+	*p = (*p)[:0]
+	scratch.Put(p)
+}
+
+// encodedSize returns the payload length of f (bytes after the u32
+// length prefix).
+func encodedSize(f *Frame) int {
+	return 1 + 1 + 4 + 4 + 8 + 2 + len(f.Name) + 2 + len(f.Fault) + 4 + 4 + 4*len(f.Shape) + 8*len(f.Data)
+}
+
+// WriteFrame encodes f and writes it to w as one length-prefixed frame
+// in a single Write call.
+func WriteFrame(w io.Writer, f *Frame) error {
+	if len(f.Name) > maxNameLen || len(f.Fault) > maxNameLen {
+		return fmt.Errorf("wire: name/fault string exceeds %d bytes", maxNameLen)
+	}
+	n := encodedSize(f)
+	if n > MaxFrameBytes {
+		return fmt.Errorf("wire: frame %d bytes exceeds %d", n, MaxFrameBytes)
+	}
+	p := getScratch(4 + n)
+	defer putScratch(p)
+	b := *p
+	binary.LittleEndian.PutUint32(b, uint32(n))
+	b[4] = Version
+	b[5] = f.Flags
+	binary.LittleEndian.PutUint32(b[6:], uint32(f.Src))
+	binary.LittleEndian.PutUint32(b[10:], uint32(f.Dst))
+	binary.LittleEndian.PutUint64(b[14:], uint64(f.WireNS))
+	binary.LittleEndian.PutUint16(b[22:], uint16(len(f.Name)))
+	off := 24 + copy(b[24:], f.Name)
+	binary.LittleEndian.PutUint16(b[off:], uint16(len(f.Fault)))
+	off += 2
+	off += copy(b[off:], f.Fault)
+	binary.LittleEndian.PutUint32(b[off:], uint32(f.Inst))
+	off += 4
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(f.Shape)))
+	off += 4
+	for _, d := range f.Shape {
+		binary.LittleEndian.PutUint32(b[off:], uint32(d))
+		off += 4
+	}
+	for _, v := range f.Data {
+		binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+		off += 8
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// ReadFrame reads one frame from r into f, reusing f's Shape and Data
+// capacity when present. io.EOF is returned untouched on a clean
+// end-of-stream (no partial frame), so callers can distinguish an
+// orderly peer close from a truncated frame.
+func ReadFrame(r io.Reader, f *Frame) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("wire: truncated frame length: %w", err)
+		}
+		return err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < 30 || n > MaxFrameBytes {
+		return fmt.Errorf("wire: frame length %d out of range [30, %d]", n, MaxFrameBytes)
+	}
+	p := getScratch(n)
+	defer putScratch(p)
+	b := *p
+	if _, err := io.ReadFull(r, b); err != nil {
+		return fmt.Errorf("wire: truncated frame body: %w", err)
+	}
+	if b[0] != Version {
+		return fmt.Errorf("wire: frame version %d, want %d", b[0], Version)
+	}
+	f.Flags = b[1]
+	f.Src = int(binary.LittleEndian.Uint32(b[2:]))
+	f.Dst = int(binary.LittleEndian.Uint32(b[6:]))
+	f.WireNS = int64(binary.LittleEndian.Uint64(b[10:]))
+	nameLen := int(binary.LittleEndian.Uint16(b[18:]))
+	if 20+nameLen+10 > n {
+		return fmt.Errorf("wire: frame name length %d overruns frame of %d bytes", nameLen, n)
+	}
+	f.Name = string(b[20 : 20+nameLen])
+	off := 20 + nameLen
+	faultLen := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if off+faultLen+8 > n {
+		return fmt.Errorf("wire: frame fault length %d overruns frame of %d bytes", faultLen, n)
+	}
+	f.Fault = string(b[off : off+faultLen])
+	off += faultLen
+	f.Inst = int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	rank := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if rank < 0 || off+4*rank > n {
+		return fmt.Errorf("wire: frame rank %d overruns frame of %d bytes", rank, n)
+	}
+	f.Shape = resize(f.Shape, rank)
+	elems := 1
+	for i := range f.Shape {
+		f.Shape[i] = int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		elems *= f.Shape[i]
+	}
+	if off+8*elems != n {
+		return fmt.Errorf("wire: frame payload %d elements does not fill %d remaining bytes", elems, n-off)
+	}
+	f.Data = resizeF(f.Data, elems)
+	for i := range f.Data {
+		f.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	return nil
+}
+
+func resize(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

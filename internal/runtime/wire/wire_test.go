@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, in Frame) Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &in); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	var out Frame
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left over after one frame", buf.Len())
+	}
+	return out
+}
+
+// TestFrameRoundTrip encodes representative frames and decodes them
+// back: every field — including flags, fault attribution, negative
+// zero, NaN payload bits, and empty shapes — must survive bit for bit.
+func TestFrameRoundTrip(t *testing.T) {
+	nan := math.Float64frombits(0x7ff8000000000001)
+	frames := []Frame{
+		{Src: 0, Dst: 1, Name: "cps.0", Inst: 0, Shape: []int{2, 3}, Data: []float64{1, 2, 3, 4, 5, 6}},
+		{Src: 3, Dst: 0, Name: "gbkt2.permute.17", Inst: 41, WireNS: 12345678, Shape: []int{1}, Data: []float64{math.Copysign(0, -1)}},
+		{Src: 1, Dst: 2, Name: "x", Inst: 7, Flags: FlagDup, Fault: "dup:link:1-2:7", Shape: []int{4}, Data: []float64{nan, math.Inf(1), math.Inf(-1), -1e-300}},
+		// Rank 0 is a scalar: one element, no dims.
+		{Src: 2, Dst: 3, Name: "drop-me", Inst: 1, Flags: FlagDrop, Fault: "drop:link:2-3:1", WireNS: 1, Shape: []int{}, Data: []float64{42.5}},
+	}
+	for _, in := range frames {
+		out := roundTrip(t, in)
+		if out.Src != in.Src || out.Dst != in.Dst || out.Name != in.Name ||
+			out.Inst != in.Inst || out.WireNS != in.WireNS ||
+			out.Flags != in.Flags || out.Fault != in.Fault {
+			t.Fatalf("header fields changed: got %+v, want %+v", out, in)
+		}
+		if len(in.Shape) == 0 {
+			if len(out.Shape) != 0 || len(out.Data) != 1 {
+				t.Fatalf("scalar frame decoded with shape %v data %v", out.Shape, out.Data)
+			}
+		} else if !reflect.DeepEqual(out.Shape, in.Shape) {
+			t.Fatalf("shape changed: got %v, want %v", out.Shape, in.Shape)
+		}
+		for i := range in.Data {
+			if math.Float64bits(out.Data[i]) != math.Float64bits(in.Data[i]) {
+				t.Fatalf("element %d changed bits: got %x, want %x",
+					i, math.Float64bits(out.Data[i]), math.Float64bits(in.Data[i]))
+			}
+		}
+	}
+}
+
+// TestFrameReuseAcrossReads checks the documented Shape/Data reuse: a
+// second decode into the same Frame must not alias or resize away the
+// correct values.
+func TestFrameReuseAcrossReads(t *testing.T) {
+	var buf bytes.Buffer
+	big := Frame{Src: 0, Dst: 1, Name: "a", Shape: []int{8}, Data: []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+	small := Frame{Src: 1, Dst: 0, Name: "b", Inst: 2, Shape: []int{2}, Data: []float64{9, 10}}
+	if err := WriteFrame(&buf, &big); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, &small); err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	if err := ReadFrame(&buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadFrame(&buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "b" || len(f.Data) != 2 || f.Data[0] != 9 || f.Data[1] != 10 {
+		t.Fatalf("second decode into reused frame got %+v", f)
+	}
+}
+
+// TestFrameCleanEOF pins the shutdown contract: a reader at a cleanly
+// closed stream gets untouched io.EOF, while a stream cut mid-frame is
+// an error that is NOT io.EOF.
+func TestFrameCleanEOF(t *testing.T) {
+	var f Frame
+	if err := ReadFrame(bytes.NewReader(nil), &f); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+
+	var buf bytes.Buffer
+	in := Frame{Src: 0, Dst: 1, Name: "n", Shape: []int{1}, Data: []float64{1}}
+	if err := WriteFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, cut := range []int{2, 4, 10, len(whole) - 1} {
+		err := ReadFrame(bytes.NewReader(whole[:cut]), &f)
+		// A cut exactly after the length prefix surfaces as a wrapped
+		// io.EOF; what matters is that no truncation is ever the bare
+		// io.EOF a clean close returns.
+		if err == nil || err == io.EOF {
+			t.Fatalf("stream cut at %d/%d bytes: got %v, want a truncation error", cut, len(whole), err)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+			t.Fatalf("stream cut at %d bytes: %v wraps neither io.ErrUnexpectedEOF nor io.EOF", cut, err)
+		}
+	}
+}
+
+// TestFrameRejectsCorruption drives hostile byte streams through the
+// decoder: absurd lengths, wrong versions, and interior length fields
+// that overrun the frame must all be rejected without panics or
+// allocations proportional to the claimed size.
+func TestFrameRejectsCorruption(t *testing.T) {
+	encode := func(in Frame) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &in); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := encode(Frame{Src: 0, Dst: 1, Name: "abc", Fault: "f", Inst: 3, Shape: []int{2}, Data: []float64{1, 2}})
+
+	mutate := func(name string, f func(b []byte)) {
+		b := append([]byte(nil), base...)
+		f(b)
+		var out Frame
+		if err := ReadFrame(bytes.NewReader(b), &out); err == nil {
+			t.Fatalf("%s: decoder accepted a corrupt frame", name)
+		}
+	}
+	mutate("huge length prefix", func(b []byte) {
+		binary.LittleEndian.PutUint32(b, MaxFrameBytes+1)
+	})
+	mutate("tiny length prefix", func(b []byte) {
+		binary.LittleEndian.PutUint32(b, 4)
+	})
+	mutate("wrong version", func(b []byte) { b[4] = Version + 1 })
+	mutate("name overruns frame", func(b []byte) {
+		binary.LittleEndian.PutUint16(b[22:], uint16(0xffff))
+	})
+	mutate("rank overruns frame", func(b []byte) {
+		// rank sits after name (3) + faultLen (2+1) + inst (4).
+		off := 24 + 3 + 2 + 1 + 4
+		binary.LittleEndian.PutUint32(b[off:], 1<<20)
+	})
+	mutate("payload does not fill frame", func(b []byte) {
+		// Shrink the claimed dim so elements stop matching the bytes.
+		off := 24 + 3 + 2 + 1 + 4 + 4
+		binary.LittleEndian.PutUint32(b[off:], 1)
+	})
+
+	// A name longer than the cap is refused at encode time.
+	var buf bytes.Buffer
+	err := WriteFrame(&buf, &Frame{Name: strings.Repeat("x", maxNameLen+1), Shape: []int{}, Data: []float64{}})
+	if err == nil {
+		t.Fatal("WriteFrame accepted an oversized name")
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -111,6 +112,12 @@ type Config struct {
 	// to <TraceDir>/<run-id>.json — the durable twin of the in-memory
 	// flight recorder.
 	TraceDir string
+
+	// Transport selects the runtime fabric served runs execute over
+	// (chan in-process links by default, proc for per-device worker
+	// processes over Unix sockets). An operator decision, not a caller
+	// one — requests cannot override it.
+	Transport runtime.TransportKind
 }
 
 func (c Config) withDefaults() Config {
@@ -391,7 +398,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	runID := obs.NewRunID()
 	args := Args(out.plan.comp, req.Seed)
-	ropts := runtime.Options{Spec: s.cfg.Spec, TimeScale: s.runTimeScale(req), Trace: true, RunID: runID}
+	// The plan's tuned split-K factor rides in the run's own options
+	// (explicit even when off), so concurrent runs of differently tuned
+	// plans — and plan compiles applying ApplyBest mid-flight — cannot
+	// bleed into this execution through the process-global knob.
+	ropts := runtime.Options{
+		Spec: s.cfg.Spec, TimeScale: s.runTimeScale(req), Trace: true, RunID: runID,
+		Transport:    s.cfg.Transport,
+		KernelSplitK: runtime.ExplicitSplitK(out.plan.plan.Knobs.KernelSplitK),
+	}
 	if req.Fault != "" {
 		plan, err := runtime.ParseFaults(req.Fault)
 		if err != nil {
@@ -450,7 +465,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	outputs := Outputs(out.plan.comp, res.All, out.plan.plan.Devices)
 	checked := false
 	if req.Check {
-		wantAll, err := sim.InterpretAll(out.plan.comp, out.plan.plan.Devices, args)
+		// The interpreter must reassociate contractions with the same
+		// split-K factor the run carried for bitwise equality to hold.
+		wantAll, err := sim.InterpretAllSplitK(out.plan.comp, out.plan.plan.Devices, args,
+			out.plan.plan.Knobs.KernelSplitK)
 		if err != nil {
 			s.writeError(w, http.StatusInternalServerError, err)
 			return
@@ -556,20 +574,36 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// runIDPattern is the exact shape obs.NewRunID mints: "r-" plus 16 hex
+// digits. The run id from the URL is attacker-controlled and ends up in
+// a TraceDir filesystem path below, so anything else — including "..",
+// separators in any encoding, or oversized ids — is rejected before any
+// filepath.Join ever sees it.
+var runIDPattern = regexp.MustCompile(`^r-[0-9a-f]{16}$`)
+
 // handleRunByID serves GET /v1/runs/{id}?format=json|chrome: the full
 // trace artifact of one recorded run, as stable JSON (default) or as a
-// Chrome trace file loadable in Perfetto.
+// Chrome trace file loadable in Perfetto. Runs evicted from the
+// in-memory recorder are re-read from their durable TraceDir twin when
+// one is configured.
 func (s *Server) handleRunByID(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s needs GET", r.URL.Path))
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/runs/")
-	if id == "" || strings.Contains(id, "/") {
+	if !runIDPattern.MatchString(id) {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: no run id in %s", r.URL.Path))
 		return
 	}
 	trace := s.recorder.get(id)
+	if trace == nil && s.cfg.TraceDir != "" {
+		if data, err := os.ReadFile(filepath.Join(s.cfg.TraceDir, id+".json")); err == nil {
+			if t, err := obs.DecodeRunTrace(data); err == nil {
+				trace = t
+			}
+		}
+	}
 	if trace == nil {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: run %s is not in the flight recorder (evicted or never recorded)", id))
 		return

@@ -258,3 +258,84 @@ func TestServeTraceDir(t *testing.T) {
 		t.Errorf("trace file id %s, want %s", trace.ID, rr.RunID)
 	}
 }
+
+// TestServeRunIDSanitized pins the trace endpoint's path-traversal
+// defense: the run id from the URL reaches a filepath.Join against
+// TraceDir (the disk-fallback read), so anything that is not exactly an
+// obs.NewRunID — "..", separators, encoded separators, hex of the wrong
+// length or case — must 404 before any filesystem access. The handler
+// is driven directly so mux path cleaning cannot mask a weak check.
+func TestServeRunIDSanitized(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+	cfg.TraceDir = filepath.Join(dir, "traces")
+	if err := os.Mkdir(cfg.TraceDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A trace-shaped secret OUTSIDE TraceDir: a traversal that slips
+	// through the id check would serve it with a 200.
+	secret := &obs.RunTrace{Version: obs.RunTraceVersion, ID: "r-aaaaaaaaaaaaaaaa", Model: "OUT-OF-DIR-SECRET"}
+	data, err := secret.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "secret.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []string{
+		"../secret",               // plain traversal
+		"..%2fsecret",             // encoded separator (stays raw when the mux is bypassed)
+		"..",                      // parent directory
+		"secret",                  // wrong shape entirely
+		"r-AAAAAAAAAAAAAAAA",      // uppercase hex is not what NewRunID mints
+		"r-aaaaaaaaaaaaaaa",       // 15 hex digits
+		"r-aaaaaaaaaaaaaaaaa",     // 17 hex digits
+		"r-aaaaaaaaaaaaaaaa/x",    // suffixed path segment
+		"r-aaaaaaaaaaaaaaaa.json", // extension smuggling
+	} {
+		r := httptest.NewRequest(http.MethodGet, "/v1/runs/"+id, nil)
+		// Undo the parser's own normalization so the handler sees the
+		// hostile id verbatim, as it would from a client that does not
+		// clean paths.
+		r.URL.Path = "/v1/runs/" + id
+		w := httptest.NewRecorder()
+		s.handleRunByID(w, r)
+		if w.Code != http.StatusNotFound {
+			t.Errorf("id %q: status %d, want 404", id, w.Code)
+		}
+		if strings.Contains(w.Body.String(), secret.Model) {
+			t.Errorf("id %q: response leaked the out-of-dir artifact", id)
+		}
+	}
+
+	// The disk fallback itself works for a well-formed id: a trace
+	// present only in TraceDir (e.g. evicted from the recorder) is
+	// served from its durable twin.
+	inside := &obs.RunTrace{Version: obs.RunTraceVersion, ID: "r-0123456789abcdef"}
+	data, err = inside.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cfg.TraceDir, inside.ID+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(http.MethodGet, "/v1/runs/"+inside.ID, nil)
+	w := httptest.NewRecorder()
+	s.handleRunByID(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("disk fallback: status %d, want 200 (body %s)", w.Code, w.Body.String())
+	}
+	got, err := obs.DecodeRunTrace(w.Body.Bytes())
+	if err != nil {
+		t.Fatalf("disk fallback body does not decode: %v", err)
+	}
+	if got.ID != inside.ID {
+		t.Fatalf("disk fallback served trace %q, want %q", got.ID, inside.ID)
+	}
+}

@@ -156,11 +156,20 @@ func (s EinsumSpec) labelSizes(shapes [][]int) (map[byte]int, error) {
 // (the interpreter and runtime evaluate the same instruction every step)
 // skip straight to the kernel.
 func Einsum(spec string, operands ...*Tensor) *Tensor {
+	return EinsumSplitK(SplitKInherit, spec, operands...)
+}
+
+// EinsumSplitK is Einsum with an explicit split-K factor for this call:
+// SplitKInherit follows the process-wide setting, 0/1 forces the split
+// off, >= 2 forces that factor (clamped). Per-run executors use it so a
+// tuned plan's factor travels with the run instead of through the
+// mutable global.
+func EinsumSplitK(splitK int, spec string, operands ...*Tensor) *Tensor {
 	e, err := einsumLookup(spec)
 	if err != nil {
 		panic(err)
 	}
-	out, err := einsumExec(e, operands)
+	out, err := einsumExec(e, operands, splitK)
 	if err != nil {
 		panic(err)
 	}
@@ -190,7 +199,7 @@ func EinsumParsed(spec EinsumSpec, operands ...*Tensor) (*Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return einsumExec(e, operands)
+	return einsumExec(e, operands, SplitKInherit)
 }
 
 // newEinsumOutput validates the operand shapes and returns the zeroed
@@ -213,14 +222,14 @@ func newEinsumOutput(spec EinsumSpec, operands []*Tensor) (*Tensor, error) {
 // einsumExec validates shapes and runs the fastest applicable path:
 // the blocked GEMM kernel for lowerable two-operand specs, otherwise
 // the odometer reference.
-func einsumExec(e *einsumEntry, operands []*Tensor) (*Tensor, error) {
+func einsumExec(e *einsumEntry, operands []*Tensor, splitK int) (*Tensor, error) {
 	out, err := newEinsumOutput(e.spec, operands)
 	if err != nil {
 		return nil, err
 	}
 	t0, timed := kernelTimerStart()
 	if len(operands) == 2 && e.plan.ok {
-		e.plan.run(out, operands[0], operands[1], KernelWorkers())
+		e.plan.run(out, operands[0], operands[1], KernelWorkers(), splitK)
 		kernelGemmOps.Inc()
 	} else {
 		einsumReference(out, e.spec, operands)

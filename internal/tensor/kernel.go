@@ -195,7 +195,7 @@ func (p *gemmPlan) check(out, lhs, rhs *Tensor) error {
 // which keeps the per-element accumulation order identical to the
 // reference in every case. The accumulator pack is never cached: the
 // kernel itself mutates it.
-func (p *gemmPlan) run(out, lhs, rhs *Tensor, workers int) {
+func (p *gemmPlan) run(out, lhs, rhs *Tensor, workers, splitK int) {
 	B, M, K, N := p.sizes(lhs, rhs)
 	if B*M*N == 0 {
 		return // no output elements (K == 0 alone leaves out unchanged below)
@@ -219,7 +219,7 @@ func (p *gemmPlan) run(out, lhs, rhs *Tensor, workers int) {
 		c = *cBuf
 	}
 
-	gemm(c, a, b, B, M, K, N, workers)
+	gemm(c, a, b, B, M, K, N, workers, splitK)
 
 	if cBuf != nil {
 		permCopy(*cBuf, out, p.outPerm, false)
@@ -319,9 +319,9 @@ const gemmParallelMinFlops = 1 << 19
 // Only the split-K factor — a planned, fingerprinted decision — ever
 // changes result bytes; the worker count and the rows/columns choice
 // never do.
-func gemm(c, a, b []float64, B, M, K, N, workers int) {
+func gemm(c, a, b []float64, B, M, K, N, workers, splitK int) {
 	rows := B * M
-	if s := splitFactor(rows, K, N); s > 1 {
+	if s := splitFactor(rows, K, N, splitK); s > 1 {
 		gemmSplitK(c, a, b, B, M, K, N, s, workers)
 		return
 	}
@@ -508,6 +508,15 @@ func einsumLookup(spec string) (*einsumEntry, error) {
 // of acc's prior value. Like Einsum, it panics on malformed specs or
 // mismatched shapes.
 func EinsumAddInto(acc *Tensor, spec string, lhs, rhs *Tensor) *Tensor {
+	return EinsumAddIntoSplitK(acc, spec, lhs, rhs, SplitKInherit)
+}
+
+// EinsumAddIntoSplitK is EinsumAddInto with an explicit split-K factor
+// for this call: SplitKInherit follows the process-wide setting, 0/1
+// forces the split off, >= 2 forces that factor (clamped). Per-run
+// executors use it so a tuned plan's factor travels with the run
+// instead of through the mutable global.
+func EinsumAddIntoSplitK(acc *Tensor, spec string, lhs, rhs *Tensor, splitK int) *Tensor {
 	e, err := einsumLookup(spec)
 	if err != nil {
 		panic(err)
@@ -520,7 +529,7 @@ func EinsumAddInto(acc *Tensor, spec string, lhs, rhs *Tensor) *Tensor {
 		if err := e.plan.check(acc, lhs, rhs); err != nil {
 			panic(err)
 		}
-		e.plan.run(acc, lhs, rhs, KernelWorkers())
+		e.plan.run(acc, lhs, rhs, KernelWorkers(), splitK)
 		kernelGemmOps.Inc()
 	} else {
 		if err := checkReferenceShapes(e.spec, acc, lhs, rhs); err != nil {

@@ -81,6 +81,30 @@ func KernelSplitK() int {
 	return int(n)
 }
 
+// SplitKInherit is the per-call split-K value meaning "use the
+// process-wide factor" (SetKernelSplitK). Entry points that accept an
+// explicit factor — EinsumSplitK, EinsumAddIntoSplitK — treat any
+// non-negative value as an override, so a run that was planned with a
+// specific factor (including an explicit 0 = off) is insulated from
+// concurrent changes to the global.
+const SplitKInherit = -1
+
+// effectiveSplitK resolves a per-call split-K value to the factor the
+// GEMM dispatcher uses: the ambient global for SplitKInherit, otherwise
+// the clamped explicit value (0/1 = off).
+func effectiveSplitK(splitK int) int {
+	if splitK < 0 {
+		return KernelSplitK()
+	}
+	if splitK <= 1 {
+		return 0
+	}
+	if splitK > maxKernelSplitK {
+		return maxKernelSplitK
+	}
+	return splitK
+}
+
 var (
 	workerOnce sync.Once
 	workQueue  chan func()

@@ -65,7 +65,7 @@ func TestSplitKMatchesOracleFuzz(t *testing.T) {
 		SetKernelWorkers(workerChoices[rng.Intn(len(workerChoices))])
 		got := Einsum("mk,kn->mn", x, y)
 		var want *Tensor
-		if eff := splitFactor(m, k, n); eff > 1 {
+		if eff := splitFactor(m, k, n, SplitKInherit); eff > 1 {
 			split++
 			want = splitOracleMatmul(x, y, eff)
 		} else {
@@ -96,7 +96,7 @@ func TestSplitKWorkerCountDeterminism(t *testing.T) {
 	counts := []int{1, 2, 3, 5, runtime.GOMAXPROCS(0)}
 	for _, s := range []int{2, 3, 4, 5, 8} {
 		SetKernelSplitK(s)
-		if splitFactor(m, k, n) != s {
+		if splitFactor(m, k, n, SplitKInherit) != s {
 			t.Fatalf("factor %d did not pass the gate for m=%d k=%d n=%d", s, m, k, n)
 		}
 		want := splitOracleMatmul(x, y, s)
@@ -245,16 +245,16 @@ func TestSplitFactorGate(t *testing.T) {
 		{1, 4096, 64, 4},  // single row, long K: the motivating shape
 	}
 	for _, tc := range cases {
-		if got := splitFactor(tc.rows, tc.k, tc.n); got != tc.want {
+		if got := splitFactor(tc.rows, tc.k, tc.n, SplitKInherit); got != tc.want {
 			t.Errorf("splitFactor(%d,%d,%d) = %d, want %d", tc.rows, tc.k, tc.n, got, tc.want)
 		}
 	}
 	SetKernelSplitK(0)
-	if got := splitFactor(4, 1024, 64); got != 0 {
+	if got := splitFactor(4, 1024, 64, SplitKInherit); got != 0 {
 		t.Errorf("splitFactor with factor unset = %d, want 0", got)
 	}
 	SetKernelSplitK(1)
-	if got := splitFactor(4, 1024, 64); got != 0 {
+	if got := splitFactor(4, 1024, 64, SplitKInherit); got != 0 {
 		t.Errorf("splitFactor with factor 1 = %d, want 0", got)
 	}
 }

@@ -91,6 +91,10 @@ type (
 	FaultPlan = runtime.FaultPlan
 	// Fault is one injected failure in a FaultPlan.
 	Fault = runtime.Fault
+	// TransportKind selects the runtime fabric transfers move over:
+	// TransportChan (in-process channels) or TransportProc (per-device
+	// worker processes over Unix sockets). See RunOptions.Transport.
+	TransportKind = runtime.TransportKind
 	// TraceEvent is one Chrome-trace span (simulated or measured).
 	TraceEvent = sim.TraceEvent
 	// AutotuneOptions configures the profile-guided variant search.
@@ -217,6 +221,29 @@ func ParseFaults(spec string) (*FaultPlan, error) { return runtime.ParseFaults(s
 // DefaultRunOptions returns runtime options that inject wire delays
 // from spec at a scale that makes overlap visible in wall-clock.
 func DefaultRunOptions(spec MachineSpec) RunOptions { return runtime.DefaultOptions(spec) }
+
+// Transport kinds for RunOptions.Transport.
+const (
+	// TransportChan keeps every device in-process on buffered channels
+	// (the default).
+	TransportChan = runtime.TransportChan
+	// TransportProc spawns one OS worker process per communicating
+	// device and moves tensors as length-prefixed frames over Unix
+	// sockets. Results stay bit-identical to TransportChan.
+	TransportProc = runtime.TransportProc
+)
+
+// ParseTransport maps a CLI/API string ("", "chan", "proc") onto a
+// TransportKind for RunOptions.Transport.
+func ParseTransport(s string) (TransportKind, error) { return runtime.ParseTransport(s) }
+
+// MaybeTransportWorker turns the current process into a process-
+// transport worker when the transport's environment variable is set,
+// and never returns in that case. Any main that can execute a
+// TransportProc run must call it first thing, because the transport
+// spawns workers by re-executing the current binary. It returns
+// immediately (and costs nothing) in ordinary processes.
+func MaybeTransportWorker() { runtime.MaybeWorker() }
 
 // Autotune searches the pipeline's variant space (scheduler, unrolling,
 // bidirectional transfer, rolled loops, fusion heuristics, gather
@@ -394,6 +421,11 @@ func Table2Models() []ModelConfig { return models.Table2() }
 func BuildLayerStep(cfg ModelConfig) (*Computation, error) {
 	return models.BuildLayerStep(cfg)
 }
+
+// SetExperimentTransport selects the fabric transport the wall-clock
+// experiments execute on. The "transport" comparison experiment ignores
+// it and always measures both.
+func SetExperimentTransport(t TransportKind) { experiments.DefaultTransport = t }
 
 // ExperimentIDs lists the experiments RunExperiment accepts, in
 // presentation order.
